@@ -1,0 +1,60 @@
+"""Shared state for the benchmark harness.
+
+Several benches consume the same expensive artifacts (a prepared setup, a
+full pricing comparison); they are computed once per session and memoized
+here. The scale profile comes from ``REPRO_SCALE`` (default ``bench``); set
+``REPRO_SCALE=paper`` for the full-fidelity reproduction (hours).
+
+Artifacts (summary JSON, curve CSVs) are written to
+``benchmarks/results/<scale>/`` so every printed row is also archived.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments import (
+    SETUPS,
+    PreparedSetup,
+    apply_scale,
+    prepare_setup,
+    resolve_scale,
+    run_pricing_comparison,
+)
+
+_PREPARED: Dict[str, PreparedSetup] = {}
+_COMPARISONS: Dict[str, dict] = {}
+
+
+def results_dir() -> Path:
+    """Directory where bench artifacts are archived."""
+    scale = resolve_scale()
+    path = Path(__file__).parent / "results" / scale.name
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def get_prepared(setup_name: str) -> PreparedSetup:
+    """Memoized prepared setup at the session's scale profile."""
+    if setup_name not in _PREPARED:
+        scale = resolve_scale()
+        config = apply_scale(SETUPS[setup_name], scale)
+        _PREPARED[setup_name] = prepare_setup(config, scale=scale, seed=0)
+    return _PREPARED[setup_name]
+
+
+def get_comparison(setup_name: str) -> dict:
+    """Memoized pricing comparison (proposed/weighted/uniform + training)."""
+    if setup_name not in _COMPARISONS:
+        _COMPARISONS[setup_name] = run_pricing_comparison(
+            get_prepared(setup_name)
+        )
+    return _COMPARISONS[setup_name]
+
+
+@pytest.fixture(scope="session")
+def bench_results_dir() -> Path:
+    return results_dir()

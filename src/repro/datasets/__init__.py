@@ -1,0 +1,30 @@
+"""Dataset substrate: generators, partitioners, and federated containers."""
+
+from repro.datasets.base import Dataset, concatenate
+from repro.datasets.federated import FederatedDataset
+from repro.datasets.imagelike import (
+    class_conditional_dataset,
+    emnist_like,
+    mnist_like,
+)
+from repro.datasets.partition import (
+    dirichlet_partition,
+    iid_partition,
+    partition_by_label_limit,
+    power_law_sizes,
+)
+from repro.datasets.synthetic import synthetic_federated
+
+__all__ = [
+    "Dataset",
+    "concatenate",
+    "FederatedDataset",
+    "synthetic_federated",
+    "class_conditional_dataset",
+    "mnist_like",
+    "emnist_like",
+    "power_law_sizes",
+    "partition_by_label_limit",
+    "dirichlet_partition",
+    "iid_partition",
+]

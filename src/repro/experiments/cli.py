@@ -1,0 +1,245 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    python -m repro.experiments table --id 5 --setup setup1 --scale ci
+    python -m repro.experiments fig --id 4 --setup setup2 --scale bench --out results/
+    python -m repro.experiments equilibrium --setup setup3 --scale ci
+
+Artifacts are printed to stdout and, with ``--out``, archived as JSON/CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.configs import SETUPS, apply_scale, resolve_scale
+from repro.experiments.figures import fig4_series, sweep_series
+from repro.experiments.reporting import (
+    comparison_summary,
+    export_comparison,
+    export_sweep,
+    render_negative_payment_table,
+    render_time_table,
+    render_utility_table,
+)
+from repro.experiments.runner import (
+    run_pricing_comparison,
+    sweep_budget,
+    sweep_mean_cost,
+    sweep_mean_value,
+)
+from repro.experiments.setup import prepare_setup
+from repro.experiments.tables import (
+    speedup_percentages,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from repro.game import solve_cpl_game
+from repro.utils.serialization import save_json
+from repro.utils.tables import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("ci", "bench", "paper"),
+        default=None,
+        help="scale profile (default: REPRO_SCALE env or 'bench')",
+    )
+    parser.add_argument(
+        "--setup",
+        choices=tuple(SETUPS),
+        default="setup1",
+        help="which paper setup to run",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for artifacts"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table = subparsers.add_parser("table", help="regenerate a table")
+    table.add_argument(
+        "--id", type=int, choices=(2, 3, 4, 5), required=True,
+        help="paper table number",
+    )
+
+    fig = subparsers.add_parser("fig", help="regenerate a figure's series")
+    fig.add_argument(
+        "--id", type=int, choices=(4, 5, 6, 7), required=True,
+        help="paper figure number",
+    )
+    fig.add_argument(
+        "--repeats", type=int, default=None,
+        help="independent runs per curve (default: scale profile)",
+    )
+
+    subparsers.add_parser(
+        "equilibrium", help="solve and print the Stackelberg equilibrium"
+    )
+    return parser
+
+
+def _prepared(args):
+    scale = resolve_scale(args.scale)
+    config = apply_scale(SETUPS[args.setup], scale)
+    return prepare_setup(config, scale=scale, seed=args.seed)
+
+
+def _cmd_table(args) -> int:
+    prepared = _prepared(args)
+    if args.id == 5:
+        rows = table5_rows(prepared)
+        print(render_negative_payment_table(rows))
+        if args.out:
+            save_json({"rows": rows}, args.out / "table5.json")
+        return 0
+    comparison = run_pricing_comparison(prepared)
+    comparisons = {args.setup: comparison}
+    if args.id == 2:
+        rows, _ = table2_rows(comparisons)
+        print(render_time_table(rows, metric="loss"))
+        print("savings:", speedup_percentages(rows[0]))
+    elif args.id == 3:
+        rows, _ = table3_rows(comparisons)
+        print(render_time_table(rows, metric="accuracy"))
+        print("savings:", speedup_percentages(rows[0]))
+    else:  # table 4
+        rows = table4_rows(comparisons)
+        print(render_utility_table(rows))
+    if args.out:
+        save_json({"rows": rows}, args.out / f"table{args.id}.json")
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    prepared = _prepared(args)
+    repeats = args.repeats or max(1, prepared.config.repeats // 2)
+    if args.id == 4:
+        comparison = run_pricing_comparison(prepared, repeats=repeats)
+        series = fig4_series(comparison)
+        for scheme, curves in series.items():
+            final = curves["loss_mean"][~_nan(curves["loss_mean"])][-1]
+            print(f"{scheme}: final loss {final:.4f} over "
+                  f"{curves['times'][-1]:.2f}s")
+        if args.out:
+            export_comparison(comparison, args.out, prefix=f"fig4_{args.setup}")
+        print(_summary_table(comparison))
+        return 0
+    if args.id == 5:
+        points = sweep_mean_value(
+            prepared, (0.0, 4_000.0, 80_000.0), repeats=repeats
+        )
+    elif args.id == 6:
+        base = prepared.config.mean_cost
+        points = sweep_mean_cost(
+            prepared, (base * 2, base, base * 0.25), repeats=repeats
+        )
+    else:  # fig 7
+        base = prepared.problem.budget
+        points = sweep_budget(
+            prepared, (base * 0.1, base * 0.5, base), repeats=repeats
+        )
+    series = sweep_series(points)
+    rows = [
+        [
+            float(series["parameters"][i]),
+            float(series["loss"][i]),
+            float(series["accuracy"][i]),
+            float(series["mean_q"][i]),
+        ]
+        for i in range(len(series["parameters"]))
+    ]
+    print(
+        render_table(
+            ["parameter", "loss@t", "accuracy@t", "mean q"],
+            rows,
+            title=f"Fig. {args.id} sweep ({args.setup})",
+            float_format=",.4f",
+        )
+    )
+    if args.out:
+        export_sweep(series, args.out / f"fig{args.id}_{args.setup}.csv")
+    return 0
+
+
+def _cmd_equilibrium(args) -> int:
+    prepared = _prepared(args)
+    equilibrium = solve_cpl_game(prepared.problem)
+    summary = equilibrium.summary()
+    for key, value in summary.items():
+        print(f"{key}: {value}")
+    population = prepared.problem.population
+    rows = [
+        [
+            n,
+            population.costs[n],
+            population.values[n],
+            equilibrium.q[n],
+            equilibrium.prices[n],
+        ]
+        for n in range(population.num_clients)
+    ]
+    print(
+        render_table(
+            ["client", "cost", "value", "q*", "price"],
+            rows,
+            title="Per-client equilibrium",
+            float_format=",.3f",
+        )
+    )
+    if args.out:
+        save_json(
+            {"summary": summary, "q": equilibrium.q,
+             "prices": equilibrium.prices},
+            args.out / f"equilibrium_{args.setup}.json",
+        )
+    return 0
+
+
+def _nan(array):
+    import numpy as np
+
+    return np.isnan(array)
+
+
+def _summary_table(comparison) -> str:
+    summary = comparison_summary(comparison)
+    rows = [
+        [name, entry["objective_gap"], entry.get("final_loss", float("nan")),
+         entry.get("final_accuracy", float("nan"))]
+        for name, entry in summary.items()
+    ]
+    return render_table(
+        ["scheme", "bound gap", "final loss", "final accuracy"],
+        rows,
+        float_format=".4f",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    if args.command == "table":
+        return _cmd_table(args)
+    if args.command == "fig":
+        return _cmd_fig(args)
+    if args.command == "equilibrium":
+        return _cmd_equilibrium(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Generators for the paper's figures (4-7) as numeric series.
+
+No plotting dependency is available offline, so each "figure" is the exact
+data series behind it — time grids with seed-averaged loss/accuracy curves
+(Fig. 4) or parameter values with performance at a fixed evaluation time
+(Figs. 5-7) — printable by the bench harness and exportable to CSV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import PricingComparison, SweepPoint
+
+
+def fig4_series(comparison: PricingComparison) -> Dict[str, dict]:
+    """Fig. 4: loss and accuracy vs simulated time per pricing scheme.
+
+    Returns:
+        Mapping scheme name to the averaged-curve dict from
+        :func:`repro.fl.history.average_histories` (keys ``times``,
+        ``loss_mean``, ``loss_std``, ``accuracy_mean``, ``accuracy_std``).
+    """
+    return {
+        name: result.curves
+        for name, result in comparison.items()
+        if result.histories
+    }
+
+
+def sweep_series(
+    points: Sequence[SweepPoint],
+    *,
+    eval_fraction: float = 0.6,
+) -> Dict[str, np.ndarray]:
+    """Figs. 5-7: performance at a fixed evaluation time per sweep value.
+
+    The paper evaluates at 600 s of testbed time; at reduced scale we use a
+    fixed fraction of the shortest run's horizon so the snapshot is defined
+    for every sweep point.
+
+    Returns:
+        Dict with ``parameters``, ``loss``, ``accuracy``, ``eval_time``,
+        ``mean_q``, ``spending`` arrays (one entry per sweep point).
+    """
+    if not 0 < eval_fraction <= 1:
+        raise ValueError("eval_fraction must lie in (0, 1]")
+    trained = [point for point in points if point.result.histories]
+    if trained:
+        horizon = min(
+            min(history.total_time for history in point.result.histories)
+            for point in trained
+        )
+        eval_time = eval_fraction * horizon
+    else:
+        eval_time = float("nan")
+    parameters, losses, accuracies, mean_qs, spendings = [], [], [], [], []
+    for point in points:
+        parameters.append(point.parameter)
+        mean_qs.append(float(point.result.outcome.q.mean()))
+        spendings.append(point.result.outcome.spending)
+        if point.result.histories:
+            losses.append(point.result.loss_at_time(eval_time))
+            accuracies.append(point.result.accuracy_at_time(eval_time))
+        else:
+            losses.append(float("nan"))
+            accuracies.append(float("nan"))
+    return {
+        "parameters": np.asarray(parameters),
+        "loss": np.asarray(losses),
+        "accuracy": np.asarray(accuracies),
+        "eval_time": np.float64(eval_time),
+        "mean_q": np.asarray(mean_qs),
+        "spending": np.asarray(spendings),
+    }

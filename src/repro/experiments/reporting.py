@@ -1,0 +1,128 @@
+"""Rendering and exporting experiment artifacts.
+
+The bench harness prints the same rows the paper's tables report; these
+helpers keep that output consistent and archive the underlying numbers as
+JSON/CSV for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.runner import PricingComparison
+from repro.experiments.tables import SCHEME_ORDER
+from repro.utils.serialization import save_json, to_jsonable
+from repro.utils.tables import render_table
+
+PathLike = Union[str, Path]
+
+
+def render_time_table(
+    rows: Sequence[Sequence[object]], *, metric: str
+) -> str:
+    """Render a Table-II/III style table."""
+    headers = ["setup", *SCHEME_ORDER, f"target_{metric}"]
+    return render_table(
+        headers, rows, title=f"Simulated seconds to target {metric}"
+    )
+
+
+def render_utility_table(rows: Sequence[Sequence[object]]) -> str:
+    """Render a Table-IV style table."""
+    headers = ["setup", "gain vs uniform", "gain vs weighted"]
+    return render_table(
+        headers, rows, title="Total client-utility gain of proposed pricing"
+    )
+
+
+def render_negative_payment_table(rows: Sequence[Sequence[object]]) -> str:
+    """Render a Table-V style table."""
+    headers = ["mean value v", "clients with P_n < 0", "threshold v_t"]
+    return render_table(
+        headers, rows, title="Negative-payment clients vs intrinsic value",
+        float_format=",.4g",
+    )
+
+
+def comparison_summary(comparison: PricingComparison) -> Dict[str, dict]:
+    """Scalar summary per scheme (for JSON export and quick printing)."""
+    summary = {}
+    for name, result in comparison.items():
+        outcome = result.outcome
+        entry = {
+            "spending": outcome.spending,
+            "objective_gap": outcome.objective_gap,
+            "mean_q": float(outcome.q.mean()),
+            "total_client_utility": outcome.total_client_utility,
+            "negative_payments": int(np.sum(outcome.prices < 0)),
+        }
+        if result.histories:
+            entry["final_loss"] = result.mean_final_loss()
+            entry["final_accuracy"] = result.mean_final_accuracy()
+            entry["total_time"] = float(
+                np.mean([h.total_time for h in result.histories])
+            )
+        summary[name] = entry
+    return summary
+
+
+def export_comparison(
+    comparison: PricingComparison, directory: PathLike, *, prefix: str
+) -> List[Path]:
+    """Write a comparison's summary JSON and per-scheme curve CSVs."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = [
+        save_json(
+            comparison_summary(comparison), directory / f"{prefix}_summary.json"
+        )
+    ]
+    for name, result in comparison.items():
+        if not result.histories:
+            continue
+        curves = result.curves
+        path = directory / f"{prefix}_{name}_curves.csv"
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["time_s", "loss_mean", "loss_std", "accuracy_mean",
+                 "accuracy_std"]
+            )
+            for i in range(len(curves["times"])):
+                writer.writerow(
+                    [
+                        curves["times"][i],
+                        curves["loss_mean"][i],
+                        curves["loss_std"][i],
+                        curves["accuracy_mean"][i],
+                        curves["accuracy_std"][i],
+                    ]
+                )
+        written.append(path)
+    return written
+
+
+def export_sweep(series: dict, path: PathLike) -> Path:
+    """Write a Figs.-5-7 sweep series to CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["parameter", "loss", "accuracy", "mean_q", "spending"]
+        )
+        for i in range(len(series["parameters"])):
+            writer.writerow(
+                [
+                    series["parameters"][i],
+                    series["loss"][i],
+                    series["accuracy"][i],
+                    series["mean_q"][i],
+                    series["spending"][i],
+                ]
+            )
+    return path

@@ -1,0 +1,234 @@
+"""Running prepared setups: pricing comparisons and parameter sweeps.
+
+These functions produce the raw material for every Fig.-4-7 curve and every
+Table-II-V row: equilibrium outcomes from the game layer, plus measured
+training histories from the FL engine on the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.setup import PreparedSetup
+from repro.fl import BernoulliParticipation, FederatedTrainer, TrainingHistory
+from repro.fl.history import average_histories
+from repro.game import (
+    OptimalPricing,
+    PricingOutcome,
+    PricingScheme,
+    UniformPricing,
+    WeightedPricing,
+)
+from repro.models import ExponentialDecaySchedule
+
+
+def default_schemes() -> List[PricingScheme]:
+    """The paper's three compared schemes."""
+    return [OptimalPricing(), WeightedPricing(), UniformPricing()]
+
+
+def run_history(
+    prepared: PreparedSetup,
+    q: Sequence[float],
+    *,
+    seed: int = 0,
+) -> TrainingHistory:
+    """One FL training run at participation vector ``q`` on the testbed."""
+    q = np.clip(np.asarray(q, dtype=float), 1e-4, 1.0)
+    config = prepared.config
+    child = prepared.rng_factory.child("run", str(seed))
+    trainer = FederatedTrainer(
+        prepared.model,
+        prepared.federated,
+        BernoulliParticipation(q, rng=child.make("participation")),
+        schedule=ExponentialDecaySchedule(
+            initial=config.initial_lr, decay=config.lr_decay
+        ),
+        local_steps=config.local_steps,
+        batch_size=config.batch_size,
+        round_timer=prepared.runtime.round_timer(),
+        eval_every=prepared.eval_every,
+        rng_factory=child,
+    )
+    return trainer.run(config.num_rounds)
+
+
+@dataclass
+class SchemeResult:
+    """One pricing scheme's equilibrium outcome plus measured training."""
+
+    outcome: PricingOutcome
+    histories: List[TrainingHistory] = field(default_factory=list)
+
+    @property
+    def curves(self) -> dict:
+        """Seed-averaged loss/accuracy curves on a shared time grid."""
+        return average_histories(self.histories)
+
+    def mean_time_to_loss(self, target: float) -> float:
+        """Average simulated seconds to reach ``target`` global loss."""
+        return float(
+            np.mean([history.time_to_loss(target) for history in self.histories])
+        )
+
+    def mean_time_to_accuracy(self, target: float) -> float:
+        """Average simulated seconds to reach ``target`` test accuracy."""
+        return float(
+            np.mean(
+                [
+                    history.time_to_accuracy(target)
+                    for history in self.histories
+                ]
+            )
+        )
+
+    def mean_final_loss(self) -> float:
+        """Seed-averaged final global loss."""
+        return float(
+            np.mean([history.final_global_loss() for history in self.histories])
+        )
+
+    def mean_final_accuracy(self) -> float:
+        """Seed-averaged final test accuracy."""
+        return float(
+            np.mean(
+                [history.final_test_accuracy() for history in self.histories]
+            )
+        )
+
+    def loss_at_time(self, timestamp: float) -> float:
+        """Seed-averaged global loss at a simulated time (Figs. 5-7)."""
+        values = [
+            history.loss_at_times([timestamp])[0] for history in self.histories
+        ]
+        return float(np.nanmean(values))
+
+    def accuracy_at_time(self, timestamp: float) -> float:
+        """Seed-averaged test accuracy at a simulated time (Figs. 5-7)."""
+        values = [
+            history.accuracy_at_times([timestamp])[0]
+            for history in self.histories
+        ]
+        return float(np.nanmean(values))
+
+
+PricingComparison = Dict[str, SchemeResult]
+
+
+def run_pricing_comparison(
+    prepared: PreparedSetup,
+    *,
+    repeats: Optional[int] = None,
+    schemes: Optional[Sequence[PricingScheme]] = None,
+    train: bool = True,
+) -> PricingComparison:
+    """Compare pricing schemes on one prepared setup (the Fig.-4 engine).
+
+    Each scheme's equilibrium participation vector is measured by
+    ``repeats`` independent FL runs on the simulated testbed.
+
+    Args:
+        prepared: Output of :func:`repro.experiments.setup.prepare_setup`.
+        repeats: Independent seeds per scheme (default: the scale profile's).
+        schemes: Pricing schemes (default: proposed, weighted, uniform).
+        train: When ``False``, only the game layer runs (no FL training) —
+            enough for Table V and equilibrium-only analyses.
+
+    Returns:
+        Mapping scheme name to :class:`SchemeResult`.
+    """
+    if repeats is None:
+        repeats = prepared.config.repeats
+    if schemes is None:
+        schemes = default_schemes()
+    results: PricingComparison = {}
+    for scheme in schemes:
+        outcome = scheme.apply(prepared.problem)
+        result = SchemeResult(outcome=outcome)
+        if train:
+            # Common random numbers across schemes: seed `s` gives every
+            # scheme the same participation-threshold and SGD-batch streams,
+            # so measured differences reflect the allocation of q, not luck.
+            for seed in range(repeats):
+                result.histories.append(
+                    run_history(prepared, outcome.q, seed=seed)
+                )
+        results[scheme.name] = result
+    return results
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep (Figs. 5-7)."""
+
+    parameter: float
+    result: SchemeResult
+
+
+def sweep_mean_value(
+    prepared: PreparedSetup,
+    values: Sequence[float],
+    *,
+    repeats: int = 1,
+    train: bool = True,
+) -> List[SweepPoint]:
+    """Sweep the mean intrinsic value (Fig. 5 / Table V)."""
+    points = []
+    for mean_value in values:
+        variant = prepared.with_mean_value(mean_value)
+        outcome = OptimalPricing().apply(variant.problem)
+        result = SchemeResult(outcome=outcome)
+        if train:
+            for seed in range(repeats):
+                result.histories.append(
+                    run_history(variant, outcome.q, seed=seed)
+                )
+        points.append(SweepPoint(parameter=float(mean_value), result=result))
+    return points
+
+
+def sweep_mean_cost(
+    prepared: PreparedSetup,
+    costs: Sequence[float],
+    *,
+    repeats: int = 1,
+    train: bool = True,
+) -> List[SweepPoint]:
+    """Sweep the mean local cost (Fig. 6)."""
+    points = []
+    for mean_cost in costs:
+        variant = prepared.with_mean_cost(mean_cost)
+        outcome = OptimalPricing().apply(variant.problem)
+        result = SchemeResult(outcome=outcome)
+        if train:
+            for seed in range(repeats):
+                result.histories.append(
+                    run_history(variant, outcome.q, seed=seed)
+                )
+        points.append(SweepPoint(parameter=float(mean_cost), result=result))
+    return points
+
+
+def sweep_budget(
+    prepared: PreparedSetup,
+    budgets: Sequence[float],
+    *,
+    repeats: int = 1,
+    train: bool = True,
+) -> List[SweepPoint]:
+    """Sweep the server budget (Fig. 7)."""
+    points = []
+    for budget in budgets:
+        variant = prepared.with_budget(budget)
+        outcome = OptimalPricing().apply(variant.problem)
+        result = SchemeResult(outcome=outcome)
+        if train:
+            for seed in range(repeats):
+                result.histories.append(
+                    run_history(variant, outcome.q, seed=seed)
+                )
+        points.append(SweepPoint(parameter=float(budget), result=result))
+    return points

@@ -1,0 +1,170 @@
+"""Generators for the paper's tables (I-V).
+
+Targets for the time-to-target tables are chosen *reachably*: the paper picks
+a target visible in its Fig.-4 axes; at reduced scale we use the worst
+scheme's final value, which every scheme reaches, so all reported times are
+finite and the speed-up factors are comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.configs import SETUPS, SetupConfig
+from repro.experiments.runner import PricingComparison, SweepPoint
+from repro.experiments.setup import PreparedSetup
+from repro.game import OptimalPricing, solve_cpl_game
+
+SCHEME_ORDER = ("proposed", "weighted", "uniform")
+
+
+def table1_rows() -> List[List[object]]:
+    """Table I: system parameters for the three setups."""
+    rows = []
+    for name in ("setup1", "setup2", "setup3"):
+        config = SETUPS[name]
+        rows.append(
+            [name, config.dataset, config.budget, config.mean_cost,
+             config.mean_value]
+        )
+    return rows
+
+
+def reachable_loss_target(comparison: PricingComparison) -> float:
+    """A loss target every scheme reaches in every seed.
+
+    The worst final loss across all schemes and seeds, widened by a small
+    margin so no run sits exactly on the boundary (which would make its
+    time-to-target infinite by a rounding hair).
+    """
+    worst = max(
+        history.final_global_loss()
+        for result in comparison.values()
+        for history in result.histories
+    )
+    return worst * 1.005
+
+
+def reachable_accuracy_target(comparison: PricingComparison) -> float:
+    """An accuracy target every scheme reaches in every seed."""
+    worst = min(
+        history.final_test_accuracy()
+        for result in comparison.values()
+        for history in result.histories
+    )
+    return worst * 0.995
+
+
+def table2_rows(
+    comparisons: Dict[str, PricingComparison],
+    *,
+    targets: Optional[Dict[str, float]] = None,
+) -> Tuple[List[List[object]], Dict[str, float]]:
+    """Table II: simulated seconds to reach the target **loss**.
+
+    Returns:
+        ``(rows, targets_used)`` where each row is
+        ``[setup, proposed_s, weighted_s, uniform_s, target_loss]``.
+    """
+    rows = []
+    used: Dict[str, float] = {}
+    for setup_name, comparison in comparisons.items():
+        target = (
+            targets[setup_name]
+            if targets is not None
+            else reachable_loss_target(comparison)
+        )
+        used[setup_name] = target
+        row: List[object] = [setup_name]
+        for scheme in SCHEME_ORDER:
+            row.append(comparison[scheme].mean_time_to_loss(target))
+        row.append(target)
+        rows.append(row)
+    return rows, used
+
+
+def table3_rows(
+    comparisons: Dict[str, PricingComparison],
+    *,
+    targets: Optional[Dict[str, float]] = None,
+) -> Tuple[List[List[object]], Dict[str, float]]:
+    """Table III: simulated seconds to reach the target **accuracy**."""
+    rows = []
+    used: Dict[str, float] = {}
+    for setup_name, comparison in comparisons.items():
+        target = (
+            targets[setup_name]
+            if targets is not None
+            else reachable_accuracy_target(comparison)
+        )
+        used[setup_name] = target
+        row: List[object] = [setup_name]
+        for scheme in SCHEME_ORDER:
+            row.append(comparison[scheme].mean_time_to_accuracy(target))
+        row.append(target)
+        rows.append(row)
+    return rows, used
+
+
+def table4_rows(
+    comparisons: Dict[str, PricingComparison],
+) -> List[List[object]]:
+    """Table IV: total client-utility gain of proposed over benchmarks.
+
+    Each row is ``[setup, sum U* - sum U^u, sum U* - sum U^w]`` using the
+    Eq.-8a utilities under the Theorem-1 surrogate (plus measured
+    ``F(w*_n) - F*`` offsets, which cancel in the differences).
+    """
+    rows = []
+    for setup_name, comparison in comparisons.items():
+        proposed = comparison["proposed"].outcome.total_client_utility
+        uniform = comparison["uniform"].outcome.total_client_utility
+        weighted = comparison["weighted"].outcome.total_client_utility
+        rows.append([setup_name, proposed - uniform, proposed - weighted])
+    return rows
+
+
+def table5_rows(
+    prepared: PreparedSetup,
+    mean_values: Sequence[float] = (0.0, 4_000.0, 80_000.0),
+) -> List[List[object]]:
+    """Table V: number of negative-payment clients per mean value.
+
+    A pure game-layer computation (no training): for each mean value the
+    equilibrium is solved and clients with ``P_n < 0`` are counted.
+    """
+    rows = []
+    for mean_value in mean_values:
+        variant = prepared.with_mean_value(mean_value)
+        equilibrium = solve_cpl_game(variant.problem)
+        rows.append(
+            [
+                float(mean_value),
+                int(equilibrium.negative_payment_clients.size),
+                equilibrium.value_threshold,
+            ]
+        )
+    return rows
+
+
+def speedup_percentages(
+    row: Sequence[object],
+) -> Dict[str, float]:
+    """Time savings of the proposed scheme vs each benchmark, in percent.
+
+    Operates on a Table-II/III row ``[setup, proposed, weighted, uniform,
+    target]``. The paper headlines 69% savings vs uniform pricing on MNIST.
+    """
+    proposed, weighted, uniform = float(row[1]), float(row[2]), float(row[3])
+    def saving(benchmark: float) -> float:
+        if not math.isfinite(benchmark) or benchmark <= 0:
+            return math.nan
+        return 100.0 * (benchmark - proposed) / benchmark
+
+    return {
+        "vs_weighted_pct": saving(weighted),
+        "vs_uniform_pct": saving(uniform),
+    }

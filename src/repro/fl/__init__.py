@@ -1,0 +1,49 @@
+"""Federated learning engine: clients, participation, aggregation, training."""
+
+from repro.fl.aggregation import (
+    Aggregator,
+    NaiveInverseAggregator,
+    ParticipantsOnlyAggregator,
+    UnbiasedDeltaAggregator,
+)
+from repro.fl.audit import (
+    AuditReport,
+    ClientAudit,
+    audit_participation,
+    empirical_participation_counts,
+)
+from repro.fl.client import FLClient
+from repro.fl.history import RoundRecord, TrainingHistory, average_histories
+from repro.fl.participation import (
+    BernoulliParticipation,
+    FixedSubsetParticipation,
+    FullParticipation,
+    IntermittentAvailabilityParticipation,
+    ParticipationModel,
+    UniformSamplingParticipation,
+)
+from repro.fl.server import FLServer
+from repro.fl.trainer import FederatedTrainer
+
+__all__ = [
+    "FLClient",
+    "FLServer",
+    "FederatedTrainer",
+    "TrainingHistory",
+    "RoundRecord",
+    "average_histories",
+    "Aggregator",
+    "UnbiasedDeltaAggregator",
+    "ParticipantsOnlyAggregator",
+    "NaiveInverseAggregator",
+    "ParticipationModel",
+    "BernoulliParticipation",
+    "FullParticipation",
+    "FixedSubsetParticipation",
+    "IntermittentAvailabilityParticipation",
+    "UniformSamplingParticipation",
+    "audit_participation",
+    "empirical_participation_counts",
+    "AuditReport",
+    "ClientAudit",
+]

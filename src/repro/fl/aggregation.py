@@ -1,0 +1,132 @@
+"""Model aggregation rules.
+
+:class:`UnbiasedDeltaAggregator` implements the paper's Lemma 1: participants'
+model *deltas* are re-weighted by ``a_n / q_n`` so the aggregated model equals
+the full-participation FedAvg update in expectation, for arbitrary independent
+participation probabilities.
+
+Two deliberately flawed rules are included for the ablation experiments:
+
+* :class:`ParticipantsOnlyAggregator` — renormalizes weights over the round's
+  participants (what naive FedAvg does under partial participation); biased
+  whenever participation correlates with data distribution.
+* :class:`NaiveInverseAggregator` — inverse-weights the participants' *models*
+  instead of deltas; the paper's Lemma-1 remark points out this is biased
+  unless sampling is uniform.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_probability_vector
+
+
+class Aggregator(ABC):
+    """Combines participants' local models into the next global model."""
+
+    @abstractmethod
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        local_params: Dict[int, np.ndarray],
+        *,
+        weights: np.ndarray,
+        inclusion_probabilities: np.ndarray,
+    ) -> np.ndarray:
+        """Produce ``w^{r+1}`` from ``w^r`` and the participants' updates.
+
+        Args:
+            global_params: Current global model ``w^r``.
+            local_params: Mapping ``client_id -> w_n^{r+1}`` for the round's
+                participants only.
+            weights: Data weights ``a_n`` (sum to 1).
+            inclusion_probabilities: Participation probabilities ``q_n``.
+
+        Returns:
+            The next global model. When no client participates, the global
+            model is unchanged (an empty round).
+        """
+
+
+class UnbiasedDeltaAggregator(Aggregator):
+    """Lemma 1: ``w^{r+1} = w^r + sum_{n in S} (a_n / q_n)(w_n^{r+1} - w^r)``."""
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        local_params: Dict[int, np.ndarray],
+        *,
+        weights: np.ndarray,
+        inclusion_probabilities: np.ndarray,
+    ) -> np.ndarray:
+        q = check_probability_vector(
+            inclusion_probabilities, "inclusion_probabilities"
+        )
+        updated = np.array(global_params, dtype=float, copy=True)
+        for client_id, params in local_params.items():
+            if q[client_id] <= 0:
+                raise ValueError(
+                    f"client {client_id} participated but q_n = 0; unbiased "
+                    "aggregation requires q_n > 0 for every participant"
+                )
+            scale = weights[client_id] / q[client_id]
+            updated += scale * (params - global_params)
+        return updated
+
+
+class ParticipantsOnlyAggregator(Aggregator):
+    """Biased baseline: average over participants with renormalized weights."""
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        local_params: Dict[int, np.ndarray],
+        *,
+        weights: np.ndarray,
+        inclusion_probabilities: np.ndarray,
+    ) -> np.ndarray:
+        if not local_params:
+            return np.array(global_params, dtype=float, copy=True)
+        total_weight = sum(weights[cid] for cid in local_params)
+        if total_weight <= 0:
+            return np.array(global_params, dtype=float, copy=True)
+        updated = np.zeros_like(np.asarray(global_params, dtype=float))
+        for client_id, params in local_params.items():
+            updated += (weights[client_id] / total_weight) * params
+        return updated
+
+
+class NaiveInverseAggregator(Aggregator):
+    """The incorrect inverse-weighting from the Lemma-1 remark.
+
+    ``w^{r+1} = sum_{n in S} a_n / (|S| q_n) * w_n^{r+1}`` — unbiased only
+    when clients are sampled uniformly (``q_n = |S|/N``); biased otherwise.
+    Kept to demonstrate *why* Lemma 1 operates on deltas.
+    """
+
+    def aggregate(
+        self,
+        global_params: np.ndarray,
+        local_params: Dict[int, np.ndarray],
+        *,
+        weights: np.ndarray,
+        inclusion_probabilities: np.ndarray,
+    ) -> np.ndarray:
+        if not local_params:
+            return np.array(global_params, dtype=float, copy=True)
+        q = check_probability_vector(
+            inclusion_probabilities, "inclusion_probabilities"
+        )
+        cohort = len(local_params)
+        updated = np.zeros_like(np.asarray(global_params, dtype=float))
+        for client_id, params in local_params.items():
+            if q[client_id] <= 0:
+                raise ValueError(
+                    f"client {client_id} participated but q_n = 0"
+                )
+            updated += weights[client_id] / (cohort * q[client_id]) * params
+        return updated

@@ -1,0 +1,132 @@
+"""Participation auditing: verifying clients honor their promised q.
+
+The CPL game pays client ``n`` the price ``P_n`` *per unit of participation
+probability*, and the unbiased aggregation divides by the promised ``q_n``.
+Both break down if a client takes the payment but participates less than
+promised (moral hazard): the model silently becomes biased and the server
+overpays. The paper assumes compliance; production systems need to check it.
+
+:func:`audit_participation` compares each client's empirical participation
+frequency over the recorded rounds against its promised probability with an
+exact binomial two-sided test (via the normal approximation with continuity
+correction, which is accurate at the round counts FL runs at), flagging
+clients whose deviation is statistically implausible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.history import TrainingHistory
+from repro.utils.validation import check_in_range, check_probability_vector
+
+
+@dataclass(frozen=True)
+class ClientAudit:
+    """Audit verdict for one client."""
+
+    client_id: int
+    promised_q: float
+    observed_rounds: int
+    participated_rounds: int
+    z_score: float
+    suspicious: bool
+
+    @property
+    def empirical_q(self) -> float:
+        """Observed participation frequency."""
+        if self.observed_rounds == 0:
+            return math.nan
+        return self.participated_rounds / self.observed_rounds
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Fleet-wide audit outcome."""
+
+    clients: List[ClientAudit]
+    z_threshold: float
+
+    @property
+    def suspicious_clients(self) -> List[int]:
+        """Ids of clients flagged as deviating from their promise."""
+        return [audit.client_id for audit in self.clients if audit.suspicious]
+
+    @property
+    def all_clear(self) -> bool:
+        """True when no client is flagged."""
+        return not self.suspicious_clients
+
+
+def empirical_participation_counts(
+    history: TrainingHistory, num_clients: int
+) -> np.ndarray:
+    """Per-client participation counts over rounds with recorded masks."""
+    counts = np.zeros(num_clients, dtype=int)
+    for record in history.records:
+        if record.participants is None:
+            continue
+        for client_id in record.participants:
+            counts[client_id] += 1
+    return counts
+
+
+def _recorded_rounds(history: TrainingHistory) -> int:
+    return sum(
+        1 for record in history.records if record.participants is not None
+    )
+
+
+def audit_participation(
+    history: TrainingHistory,
+    promised_q: Sequence[float],
+    *,
+    z_threshold: float = 3.0,
+) -> AuditReport:
+    """Flag clients whose observed participation contradicts their promise.
+
+    Args:
+        history: Training history with recorded participant sets.
+        promised_q: The participation probabilities clients were paid for.
+        z_threshold: Two-sided z-score above which a client is flagged
+            (3.0 keeps the per-client false-positive rate ~0.3%).
+
+    Returns:
+        An :class:`AuditReport`; clients with too few observed rounds to
+        discriminate are never flagged (their z-scores are small by
+        construction).
+    """
+    promised_q = check_probability_vector(promised_q, "promised_q")
+    check_in_range(z_threshold, "z_threshold", 0.1, 100.0)
+    rounds = _recorded_rounds(history)
+    counts = empirical_participation_counts(history, promised_q.size)
+    audits = []
+    for client_id in range(promised_q.size):
+        q = promised_q[client_id]
+        count = int(counts[client_id])
+        if rounds == 0 or q in (0.0, 1.0):
+            # Degenerate promises: any deviation is a hard violation.
+            expected = q * rounds
+            violated = count != int(round(expected))
+            z_score = math.inf if violated and rounds > 0 else 0.0
+        else:
+            mean = rounds * q
+            std = math.sqrt(rounds * q * (1.0 - q))
+            # Continuity-corrected z statistic.
+            deviation = abs(count - mean) - 0.5
+            z_score = max(0.0, deviation) / std
+        audits.append(
+            ClientAudit(
+                client_id=client_id,
+                promised_q=float(q),
+                observed_rounds=rounds,
+                participated_rounds=count,
+                z_score=float(z_score),
+                suspicious=bool(z_score > z_threshold),
+            )
+        )
+    return AuditReport(clients=audits, z_threshold=z_threshold)

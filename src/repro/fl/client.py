@@ -1,0 +1,91 @@
+"""Client-side training logic."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.models.base import Model
+from repro.models.optim import sgd_steps
+from repro.utils.rng import RngFactory
+
+
+class FLClient:
+    """A federated client owning a local dataset.
+
+    On request, the client runs ``E`` steps of local mini-batch SGD from the
+    current global model and returns its updated parameters (FedAvg's local
+    routine, Sec. III-A of the paper).
+
+    Args:
+        client_id: Index ``n`` of the client.
+        dataset: Local training shard.
+        model: Shared model architecture (stateless).
+        batch_size: Local mini-batch size (paper: 24).
+        rng_factory: Source of this client's private randomness.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        model: Model,
+        *,
+        batch_size: int = 24,
+        rng_factory: Optional[RngFactory] = None,
+    ):
+        if len(dataset) == 0:
+            raise ValueError(f"client {client_id} has an empty dataset")
+        self.client_id = int(client_id)
+        self.dataset = dataset
+        self.model = model
+        self.batch_size = int(batch_size)
+        factory = rng_factory or RngFactory(client_id)
+        self._rng = factory.make("client", str(client_id), "sgd")
+
+    @property
+    def num_samples(self) -> int:
+        """Local dataset size ``d_n``."""
+        return len(self.dataset)
+
+    def local_update(
+        self, global_params: np.ndarray, *, step_size: float, num_steps: int
+    ) -> np.ndarray:
+        """Run local SGD from ``global_params`` and return ``w_n^{r+1}``."""
+        return sgd_steps(
+            self.model,
+            global_params,
+            self.dataset.features,
+            self.dataset.labels,
+            step_size=step_size,
+            num_steps=num_steps,
+            batch_size=self.batch_size,
+            rng=self._rng,
+        )
+
+    def sample_gradient_norms(
+        self,
+        params: np.ndarray,
+        *,
+        num_samples: int = 32,
+    ) -> np.ndarray:
+        """Stochastic-gradient norms at ``params`` (used to estimate G_n).
+
+        The paper estimates ``G_n`` by having participating clients report
+        the norms of the stochastic gradients computed along the training
+        trajectory; this is the client-side half of that protocol.
+        """
+        norms = np.empty(num_samples)
+        data_size = len(self.dataset)
+        batch = min(self.batch_size, data_size)
+        indices = self._rng.integers(0, data_size, size=(num_samples, batch))
+        for row in range(num_samples):
+            grad = self.model.gradient(
+                params,
+                self.dataset.features[indices[row]],
+                self.dataset.labels[indices[row]],
+            )
+            norms[row] = np.linalg.norm(grad)
+        return norms

@@ -1,0 +1,209 @@
+"""Client participation models.
+
+The paper's central premise is that clients participate in each round as
+**independent Bernoulli trials** with probabilities ``q_n`` chosen by the
+clients themselves (Sec. III-A). The baselines from the related work —
+deterministic "valuable subset" selection and server-driven uniform sampling
+— are implemented alongside for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import check_probability_vector
+
+
+class ParticipationModel(ABC):
+    """Decides which clients show up in each round."""
+
+    def __init__(self, num_clients: int):
+        if num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+        self.num_clients = int(num_clients)
+
+    @abstractmethod
+    def sample_round(self, round_index: int) -> np.ndarray:
+        """Boolean participation mask of shape ``(num_clients,)``."""
+
+    @property
+    @abstractmethod
+    def inclusion_probabilities(self) -> np.ndarray:
+        """Per-client probability of appearing in any given round.
+
+        This is the ``q`` that Lemma-1 aggregation divides by; it must be
+        strictly positive wherever a client can ever participate.
+        """
+
+    @property
+    def expected_participants(self) -> float:
+        """Expected number of participants per round ``sum_n q_n``."""
+        return float(self.inclusion_probabilities.sum())
+
+
+class BernoulliParticipation(ParticipationModel):
+    """Independent Bernoulli(q_n) participation — the paper's model.
+
+    Unlike sampling-based schemes, the probabilities are independent and
+    their sum can range over ``[0, N]``.
+    """
+
+    def __init__(self, probabilities: Sequence[float], rng: SeedLike = None):
+        probabilities = check_probability_vector(
+            probabilities, "probabilities"
+        )
+        super().__init__(len(probabilities))
+        self._q = probabilities
+        self._rng = spawn_rng(rng)
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        return self._rng.random(self.num_clients) < self._q
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return self._q.copy()
+
+
+class FullParticipation(ParticipationModel):
+    """All clients in every round — the unbiased gold standard."""
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        return np.ones(self.num_clients, dtype=bool)
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return np.ones(self.num_clients)
+
+
+class FixedSubsetParticipation(ParticipationModel):
+    """Deterministic subset every round — the biased baseline of [7]-[14].
+
+    The incentivized subset participates with probability 1, everyone else
+    never participates. Feeding this into unbiased aggregation recovers
+    FedAvg on the subset only, hence the model converges to the subset's
+    optimum, not the global one (the bias the paper's mechanism removes).
+    """
+
+    def __init__(self, num_clients: int, subset: Sequence[int]):
+        super().__init__(num_clients)
+        subset = np.asarray(sorted(set(int(i) for i in subset)), dtype=int)
+        if subset.size == 0:
+            raise ValueError("subset must contain at least one client")
+        if subset.min() < 0 or subset.max() >= num_clients:
+            raise ValueError(
+                f"subset indices must lie in [0, {num_clients}), got {subset}"
+            )
+        self.subset = subset
+        self._mask = np.zeros(num_clients, dtype=bool)
+        self._mask[subset] = True
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        return self._mask.copy()
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return self._mask.astype(float)
+
+
+class IntermittentAvailabilityParticipation(ParticipationModel):
+    """Willing-and-available participation (extension).
+
+    The paper's introduction motivates randomized participation partly by
+    clients being "only intermittently available due to their usage
+    patterns". This model composes the two effects: each round, client ``n``
+    is *available* per an independent two-state Markov chain (on/off with
+    given transition rates) and, when available, *willing* with its chosen
+    probability ``q_n``. The effective inclusion probability is
+
+        ``pi_n = stationary_on_n * q_n``
+
+    which is what Lemma-1 aggregation must divide by — exposed via
+    :attr:`inclusion_probabilities` so the unbiasedness guarantee carries
+    over to intermittent fleets (assuming the chain mixes; the stationary
+    approximation is exact for the chain's stationary start used here).
+
+    Args:
+        willingness: The game-chosen participation probabilities ``q``.
+        on_to_off: Per-round probability an available device goes offline.
+        off_to_on: Per-round probability an offline device comes back.
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        willingness: Sequence[float],
+        *,
+        on_to_off: float = 0.1,
+        off_to_on: float = 0.3,
+        rng: SeedLike = None,
+    ):
+        willingness = check_probability_vector(willingness, "willingness")
+        super().__init__(len(willingness))
+        if not 0 < on_to_off < 1 or not 0 < off_to_on < 1:
+            raise ValueError(
+                "transition probabilities must lie strictly in (0, 1), got "
+                f"on_to_off={on_to_off}, off_to_on={off_to_on}"
+            )
+        self._q = willingness
+        self._on_to_off = float(on_to_off)
+        self._off_to_on = float(off_to_on)
+        self._rng = spawn_rng(rng)
+        stationary_on = off_to_on / (on_to_off + off_to_on)
+        self._stationary_on = stationary_on
+        # Start each device in the stationary distribution so inclusion
+        # probabilities are exact from round 0.
+        self._available = self._rng.random(self.num_clients) < stationary_on
+
+    @property
+    def stationary_availability(self) -> float:
+        """Long-run fraction of time a device is available."""
+        return self._stationary_on
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        switch = self._rng.random(self.num_clients)
+        next_available = np.where(
+            self._available,
+            switch >= self._on_to_off,
+            switch < self._off_to_on,
+        )
+        self._available = next_available
+        willing = self._rng.random(self.num_clients) < self._q
+        return self._available & willing
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return self._stationary_on * self._q
+
+
+class UniformSamplingParticipation(ParticipationModel):
+    """Server samples ``K`` of ``N`` clients uniformly without replacement.
+
+    The classical FedAvg sampling scheme; inclusion probability is ``K/N``
+    for every client. Contrast with Bernoulli participation where
+    probabilities are client-chosen and independent.
+    """
+
+    def __init__(self, num_clients: int, cohort_size: int, rng: SeedLike = None):
+        super().__init__(num_clients)
+        if not 1 <= cohort_size <= num_clients:
+            raise ValueError(
+                f"cohort_size must lie in [1, {num_clients}], got {cohort_size}"
+            )
+        self.cohort_size = int(cohort_size)
+        self._rng = spawn_rng(rng)
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        chosen = self._rng.choice(
+            self.num_clients, size=self.cohort_size, replace=False
+        )
+        mask = np.zeros(self.num_clients, dtype=bool)
+        mask[chosen] = True
+        return mask
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return np.full(self.num_clients, self.cohort_size / self.num_clients)

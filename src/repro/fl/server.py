@@ -1,0 +1,61 @@
+"""Server-side state: the global model and its aggregation rule."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.fl.aggregation import Aggregator, UnbiasedDeltaAggregator
+
+
+class FLServer:
+    """Holds the global model and applies an aggregation rule each round.
+
+    Args:
+        initial_params: Starting global model ``w^0``.
+        weights: Data weights ``a_n``.
+        aggregator: Aggregation rule; defaults to the paper's Lemma-1
+            unbiased rule.
+    """
+
+    def __init__(
+        self,
+        initial_params: np.ndarray,
+        weights: np.ndarray,
+        aggregator: Aggregator = None,
+    ):
+        self._params = np.array(initial_params, dtype=float, copy=True)
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        if not np.isclose(weights.sum(), 1.0):
+            raise ValueError(f"weights must sum to 1, got {weights.sum()}")
+        self._weights = weights
+        self._aggregator = aggregator or UnbiasedDeltaAggregator()
+        self._round = 0
+
+    @property
+    def params(self) -> np.ndarray:
+        """Current global model (copy; server state is private)."""
+        return self._params.copy()
+
+    @property
+    def round_index(self) -> int:
+        """Number of completed aggregation rounds."""
+        return self._round
+
+    def apply_round(
+        self,
+        local_params: Dict[int, np.ndarray],
+        inclusion_probabilities: np.ndarray,
+    ) -> np.ndarray:
+        """Aggregate one round of participant updates into the global model."""
+        self._params = self._aggregator.aggregate(
+            self._params,
+            local_params,
+            weights=self._weights,
+            inclusion_probabilities=inclusion_probabilities,
+        )
+        self._round += 1
+        return self.params

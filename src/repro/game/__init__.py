@@ -1,0 +1,86 @@
+"""The CPL (Client Participation Level) Stackelberg game — core contribution."""
+
+from repro.game.bayesian import (
+    bayesian_outcome,
+    expected_profile_prices,
+    monte_carlo_prices,
+)
+from repro.game.best_response import (
+    best_response,
+    best_response_vector,
+    inverse_price,
+    surrogate_utility,
+)
+from repro.game.client_model import ClientPopulation, sample_population
+from repro.game.cost_model import (
+    DecoupledCost,
+    cost_parameters_from_testbed,
+    decoupled_costs,
+)
+from repro.game.equilibrium import (
+    StackelbergEquilibrium,
+    population_utilities,
+    server_utility,
+    solve_cpl_game,
+)
+from repro.game.pricing import (
+    OptimalPricing,
+    PricingOutcome,
+    PricingScheme,
+    UniformPricing,
+    WeightedPricing,
+    compare_schemes,
+    evaluate_posted_prices,
+)
+from repro.game.properties import (
+    MonotonicityReport,
+    check_proposition1,
+    corollary1_violations,
+    interior_mask,
+    predicted_prices,
+    theorem2_invariant,
+    value_threshold,
+)
+from repro.game.server_problem import (
+    ServerProblem,
+    StageIResult,
+    solve_stage1_kkt,
+    solve_stage1_msearch,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "sample_population",
+    "DecoupledCost",
+    "decoupled_costs",
+    "cost_parameters_from_testbed",
+    "best_response",
+    "best_response_vector",
+    "inverse_price",
+    "surrogate_utility",
+    "ServerProblem",
+    "StageIResult",
+    "solve_stage1_kkt",
+    "solve_stage1_msearch",
+    "StackelbergEquilibrium",
+    "solve_cpl_game",
+    "population_utilities",
+    "server_utility",
+    "PricingScheme",
+    "PricingOutcome",
+    "OptimalPricing",
+    "UniformPricing",
+    "WeightedPricing",
+    "compare_schemes",
+    "evaluate_posted_prices",
+    "theorem2_invariant",
+    "predicted_prices",
+    "value_threshold",
+    "interior_mask",
+    "check_proposition1",
+    "corollary1_violations",
+    "MonotonicityReport",
+    "bayesian_outcome",
+    "expected_profile_prices",
+    "monte_carlo_prices",
+]

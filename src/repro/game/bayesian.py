@@ -1,0 +1,150 @@
+"""Incomplete-information extension (the paper's stated future work).
+
+The CPL game assumes the server knows every ``(c_n, v_n)``. When it only
+knows their *distributions* (the Table-I exponential means), two Bayesian
+pricing rules are natural:
+
+* :func:`expected_profile_prices` — solve the complete-information game on
+  the fictitious population where every client has the mean cost and value,
+  and post those prices.
+* :func:`monte_carlo_prices` — sample many populations from the
+  distributions, solve each, and post the per-client average of the SE
+  prices (smoother, hedges against the realization).
+
+Posted prices are then scored against the *true* population with
+:func:`repro.game.pricing.evaluate_posted_prices` — realized spending can
+overshoot or undershoot the budget, which is exactly the cost of incomplete
+information that the extension experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.game.client_model import ClientPopulation, sample_population
+from repro.game.equilibrium import solve_cpl_game
+from repro.game.pricing import PricingOutcome, evaluate_posted_prices
+from repro.game.server_problem import ServerProblem
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+def _with_population(
+    problem: ServerProblem, population: ClientPopulation
+) -> ServerProblem:
+    return ServerProblem(
+        population=population,
+        alpha=problem.alpha,
+        num_rounds=problem.num_rounds,
+        budget=problem.budget,
+        beta=problem.beta,
+        f_star=problem.f_star,
+        local_gaps=problem.local_gaps,
+    )
+
+
+def expected_profile_prices(
+    problem: ServerProblem,
+    *,
+    mean_cost: float,
+    mean_value: float,
+    method: str = "kkt",
+) -> np.ndarray:
+    """Prices from solving the game at the distribution means.
+
+    The server still knows the public data-quality profile ``a_n G_n``
+    (estimable from pilot rounds without private information); only the
+    private ``(c_n, v_n)`` are replaced by their means.
+    """
+    check_positive(mean_cost, "mean_cost")
+    check_nonnegative(mean_value, "mean_value")
+    population = problem.population
+    surrogate = ClientPopulation(
+        weights=population.weights,
+        gradient_bounds=population.gradient_bounds,
+        costs=np.full(population.num_clients, mean_cost),
+        values=np.full(population.num_clients, mean_value),
+        q_max=population.q_max,
+    )
+    equilibrium = solve_cpl_game(
+        _with_population(problem, surrogate), method=method
+    )
+    return equilibrium.prices
+
+
+def monte_carlo_prices(
+    problem: ServerProblem,
+    *,
+    mean_cost: float,
+    mean_value: float,
+    num_samples: int = 32,
+    method: str = "kkt",
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Average SE prices over populations sampled from the belief."""
+    check_positive(mean_cost, "mean_cost")
+    check_nonnegative(mean_value, "mean_value")
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    generator = spawn_rng(rng)
+    population = problem.population
+    total = np.zeros(population.num_clients)
+    for _ in range(num_samples):
+        sampled = sample_population(
+            population.weights,
+            population.gradient_bounds,
+            mean_cost=mean_cost,
+            mean_value=mean_value,
+            q_max=float(population.q_max.max()),
+            rng=generator,
+        )
+        equilibrium = solve_cpl_game(
+            _with_population(problem, sampled), method=method
+        )
+        total += equilibrium.prices
+    return total / num_samples
+
+
+def bayesian_outcome(
+    problem: ServerProblem,
+    *,
+    mean_cost: float,
+    mean_value: float,
+    strategy: str = "monte-carlo",
+    num_samples: int = 32,
+    rng: SeedLike = None,
+) -> PricingOutcome:
+    """Score a Bayesian pricing rule against the true population.
+
+    Args:
+        problem: The *true* (complete-information) problem instance.
+        mean_cost: Server's belief about the mean of ``c_n``.
+        mean_value: Server's belief about the mean of ``v_n``.
+        strategy: ``"expected-profile"`` or ``"monte-carlo"``.
+        num_samples: Monte-Carlo population samples.
+        rng: Seed for the Monte-Carlo strategy.
+
+    Returns:
+        Outcome of the posted prices under the true clients' best
+        responses; ``outcome.spending`` may differ from the budget.
+    """
+    if strategy == "expected-profile":
+        prices = expected_profile_prices(
+            problem, mean_cost=mean_cost, mean_value=mean_value
+        )
+    elif strategy == "monte-carlo":
+        prices = monte_carlo_prices(
+            problem,
+            mean_cost=mean_cost,
+            mean_value=mean_value,
+            num_samples=num_samples,
+            rng=rng,
+        )
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; use 'expected-profile' or "
+            "'monte-carlo'"
+        )
+    return evaluate_posted_prices(problem, prices, f"bayesian-{strategy}")

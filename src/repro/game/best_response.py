@@ -1,0 +1,154 @@
+"""Stage II: each client's best-response participation level.
+
+Dropping the terms of Eq. (12a) that do not depend on the client's own
+``q_n``, client ``n`` maximizes the strictly concave
+
+    U_n(q) = P_n q - c_n q^2 - v_n A_n / q        over (0, q_max],
+
+where ``A_n = alpha a_n^2 G_n^2 / R`` is the client's contribution
+coefficient. The first-order condition is the paper's Eq. (13):
+
+    P_n + v_n A_n / q^2 - 2 c_n q = 0   <=>   2 c_n q^3 - P_n q^2 - v_n A_n = 0,
+
+whose unique positive root (clipped to ``[0, q_max]``) is the best response.
+The inverse map is Eq. (17): ``P_n(q) = 2 c_n q - v_n A_n / q^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.game.client_model import ClientPopulation
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+def best_response(
+    price: float,
+    cost: float,
+    value_contribution: float,
+    q_max: float,
+) -> float:
+    """Unique maximizer of the client's surrogate utility.
+
+    Args:
+        price: Posted per-unit price ``P_n`` (may be negative).
+        cost: Cost parameter ``c_n > 0``.
+        value_contribution: The product ``v_n * A_n >= 0``.
+        q_max: Participation cap in ``(0, 1]``.
+
+    Returns:
+        ``q_n^*(P_n)`` in ``[0, q_max]``. Zero only when the client has no
+        intrinsic stake (``v_n A_n = 0``) and the price is non-positive.
+    """
+    check_positive(cost, "cost")
+    check_nonnegative(value_contribution, "value_contribution")
+    if not 0 < q_max <= 1:
+        raise ValueError(f"q_max must lie in (0, 1], got {q_max}")
+    if value_contribution == 0.0:
+        return float(np.clip(price / (2.0 * cost), 0.0, q_max))
+    # Unique positive root of f(q) = 2c q^3 - P q^2 - vA (strict concavity
+    # of U means exactly one stationary point on q > 0).
+    roots = np.roots([2.0 * cost, -price, 0.0, -value_contribution])
+    positive_real = [
+        float(root.real)
+        for root in roots
+        if abs(root.imag) < 1e-9 and root.real > 0
+    ]
+    if positive_real:
+        return float(min(max(positive_real), q_max))
+    # np.roots can lose the positive root when vA is many orders of
+    # magnitude below the other coefficients (the root is ~(vA/|P|)^(1/2)
+    # or smaller). f(0+) = -vA < 0 and f is eventually increasing, so a
+    # bracketed bisection always recovers it.
+    upper = max(q_max, abs(price) / (2.0 * cost) + 1.0)
+    while 2.0 * cost * upper**3 - price * upper**2 - value_contribution < 0:
+        upper *= 2.0
+    lower = 0.0
+    for _ in range(200):
+        mid = 0.5 * (lower + upper)
+        if 2.0 * cost * mid**3 - price * mid**2 - value_contribution < 0:
+            lower = mid
+        else:
+            upper = mid
+    return float(min(0.5 * (lower + upper), q_max))
+
+
+def best_response_vector(
+    prices: Sequence[float],
+    population: ClientPopulation,
+    contributions: Sequence[float],
+) -> np.ndarray:
+    """Best responses of all clients to a price vector.
+
+    Args:
+        prices: ``P_n`` per client.
+        population: Client economic profiles.
+        contributions: Contribution coefficients ``A_n``.
+
+    Returns:
+        The participation vector ``q^*(P)``.
+    """
+    prices = np.asarray(prices, dtype=float)
+    contributions = np.asarray(contributions, dtype=float)
+    if prices.shape != (population.num_clients,):
+        raise ValueError(
+            f"prices must have shape ({population.num_clients},), "
+            f"got {prices.shape}"
+        )
+    return np.array(
+        [
+            best_response(
+                prices[n],
+                population.costs[n],
+                population.values[n] * contributions[n],
+                population.q_max[n],
+            )
+            for n in range(population.num_clients)
+        ]
+    )
+
+
+def inverse_price(
+    q: Sequence[float],
+    population: ClientPopulation,
+    contributions: Sequence[float],
+) -> np.ndarray:
+    """Eq. (17): the price that makes ``q`` each client's best response.
+
+    Requires ``q > 0`` (a zero participation level is never the image of a
+    finite price when the client holds intrinsic value).
+    """
+    q = np.asarray(q, dtype=float)
+    if np.any(q <= 0):
+        raise ValueError("inverse_price requires strictly positive q")
+    contributions = np.asarray(contributions, dtype=float)
+    return (
+        2.0 * population.costs * q
+        - population.values * contributions / q**2
+    )
+
+
+def surrogate_utility(
+    q: Sequence[float],
+    prices: Sequence[float],
+    population: ClientPopulation,
+    contributions: Sequence[float],
+) -> np.ndarray:
+    """Own-terms of each client's utility: ``P q - c q^2 - v A / q``.
+
+    Constant shifts (the other clients' penalty terms, ``beta``, and the
+    ``F(w*_n) - F*`` offsets) are excluded; use
+    :func:`repro.game.equilibrium.population_utilities` for the full Eq. (8a)
+    accounting.
+    """
+    q = np.asarray(q, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    contributions = np.asarray(contributions, dtype=float)
+    value_term = np.where(
+        population.values * contributions > 0,
+        population.values * contributions / np.maximum(q, 1e-300),
+        0.0,
+    )
+    return prices * q - population.costs * q**2 - value_term

@@ -1,0 +1,133 @@
+"""Client economic profiles for the CPL game.
+
+Each client ``n`` is described by its data weight ``a_n``, gradient-norm
+bound ``G_n`` (together: data quality ``a_n G_n``), local cost parameter
+``c_n`` (cost ``c_n q_n^2``, Eq. 6 with tau=2), intrinsic value ``v_n``
+(Eq. 7), and participation cap ``q_{n,max}``.
+
+The paper's experiments draw ``c_n`` and ``v_n`` from exponential
+distributions with the Table-I means; :func:`sample_population` implements
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class ClientPopulation:
+    """Vectorized economic profiles of all ``N`` clients.
+
+    Attributes:
+        weights: Data weights ``a_n`` (positive, sum to 1).
+        gradient_bounds: Gradient-norm bounds ``G_n`` (positive).
+        costs: Local cost parameters ``c_n`` (positive).
+        values: Intrinsic value parameters ``v_n`` (non-negative).
+        q_max: Per-client participation caps in ``(0, 1]``.
+    """
+
+    weights: np.ndarray
+    gradient_bounds: np.ndarray
+    costs: np.ndarray
+    values: np.ndarray
+    q_max: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = {}
+        for name in ("weights", "gradient_bounds", "costs", "values", "q_max"):
+            array = np.asarray(getattr(self, name), dtype=float)
+            if array.ndim != 1:
+                raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+            arrays[name] = array
+        sizes = {array.size for array in arrays.values()}
+        if len(sizes) != 1:
+            raise ValueError(f"profile arrays disagree on length: {sizes}")
+        if not np.isclose(arrays["weights"].sum(), 1.0):
+            raise ValueError(
+                f"weights must sum to 1, got {arrays['weights'].sum()}"
+            )
+        if np.any(arrays["weights"] <= 0):
+            raise ValueError("weights must be strictly positive")
+        if np.any(arrays["gradient_bounds"] <= 0):
+            raise ValueError("gradient_bounds must be strictly positive")
+        if np.any(arrays["costs"] <= 0):
+            raise ValueError("costs must be strictly positive")
+        if np.any(arrays["values"] < 0):
+            raise ValueError("values must be non-negative")
+        if np.any(arrays["q_max"] <= 0) or np.any(arrays["q_max"] > 1):
+            raise ValueError("q_max entries must lie in (0, 1]")
+        for name, array in arrays.items():
+            object.__setattr__(self, name, array)
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients ``N``."""
+        return int(self.weights.size)
+
+    @property
+    def data_quality(self) -> np.ndarray:
+        """``a_n G_n`` — the quantity Theorems 2-3 price on."""
+        return self.weights * self.gradient_bounds
+
+    def with_values(self, values: Sequence[float]) -> "ClientPopulation":
+        """Copy with replaced intrinsic values (for the Fig.-5 sweep)."""
+        return ClientPopulation(
+            weights=self.weights,
+            gradient_bounds=self.gradient_bounds,
+            costs=self.costs,
+            values=np.asarray(values, dtype=float),
+            q_max=self.q_max,
+        )
+
+    def with_costs(self, costs: Sequence[float]) -> "ClientPopulation":
+        """Copy with replaced cost parameters (for the Fig.-6 sweep)."""
+        return ClientPopulation(
+            weights=self.weights,
+            gradient_bounds=self.gradient_bounds,
+            costs=np.asarray(costs, dtype=float),
+            values=self.values,
+            q_max=self.q_max,
+        )
+
+
+def sample_population(
+    weights: Sequence[float],
+    gradient_bounds: Sequence[float],
+    *,
+    mean_cost: float,
+    mean_value: float,
+    q_max: float = 1.0,
+    rng: SeedLike = None,
+) -> ClientPopulation:
+    """Draw a population with exponential costs and values (Table I).
+
+    ``c_n ~ Exp(mean_cost)`` floored at 5% of the mean (a literal zero cost
+    breaks the quadratic cost model), ``v_n ~ Exp(mean_value)``; a zero
+    ``mean_value`` gives identically-zero intrinsic values (the ``v = 0``
+    column of Table V).
+    """
+    check_positive(mean_cost, "mean_cost")
+    check_nonnegative(mean_value, "mean_value")
+    generator = spawn_rng(rng)
+    weights = np.asarray(weights, dtype=float)
+    num_clients = weights.size
+    costs = generator.exponential(mean_cost, size=num_clients)
+    costs = np.maximum(costs, 0.05 * mean_cost)
+    if mean_value > 0:
+        values = generator.exponential(mean_value, size=num_clients)
+    else:
+        values = np.zeros(num_clients)
+    return ClientPopulation(
+        weights=weights,
+        gradient_bounds=np.asarray(gradient_bounds, dtype=float),
+        costs=costs,
+        values=values,
+        q_max=np.full(num_clients, float(q_max)),
+    )

@@ -1,0 +1,185 @@
+"""Pricing schemes: the optimal mechanism and the paper's two benchmarks.
+
+* :class:`OptimalPricing` — the SE prices from the CPL game.
+* :class:`UniformPricing` — one price for every client (benchmark ``P^u``).
+* :class:`WeightedPricing` — prices proportional to datasize (benchmark
+  ``P^w``).
+
+The benchmarks spend the same budget ``B``: their scalar price level is set
+by bisection so that total payment under the clients' best responses equals
+``B`` (total payment is continuous and strictly increasing in the level, so
+the budget-tight level is unique).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.game.best_response import best_response_vector
+from repro.game.equilibrium import (
+    StackelbergEquilibrium,
+    population_utilities,
+    solve_cpl_game,
+)
+from repro.game.server_problem import ServerProblem
+
+
+@dataclass(frozen=True)
+class PricingOutcome:
+    """Prices, induced participation, and scores of one pricing scheme."""
+
+    scheme: str
+    prices: np.ndarray
+    q: np.ndarray
+    spending: float
+    objective_gap: float
+    expected_loss: float
+    client_utilities: np.ndarray
+    equilibrium: Optional[StackelbergEquilibrium] = None
+
+    @property
+    def payments(self) -> np.ndarray:
+        """Per-client payments ``P_n q_n``."""
+        return self.prices * self.q
+
+    @property
+    def total_client_utility(self) -> float:
+        """``sum_n U_n`` — the Table-IV quantity."""
+        return float(self.client_utilities.sum())
+
+
+def evaluate_posted_prices(
+    problem: ServerProblem,
+    prices: Sequence[float],
+    scheme: str,
+    *,
+    equilibrium: Optional[StackelbergEquilibrium] = None,
+) -> PricingOutcome:
+    """Score an arbitrary posted price vector under client best responses."""
+    prices = np.asarray(prices, dtype=float)
+    q = best_response_vector(prices, problem.population, problem.contributions)
+    q = np.maximum(q, 1e-9)
+    return PricingOutcome(
+        scheme=scheme,
+        prices=prices,
+        q=q,
+        spending=float(np.sum(prices * q)),
+        objective_gap=problem.objective_gap(q),
+        expected_loss=problem.expected_loss(q),
+        client_utilities=population_utilities(problem, q, prices),
+        equilibrium=equilibrium,
+    )
+
+
+class PricingScheme(ABC):
+    """A rule mapping a :class:`ServerProblem` to posted prices."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        """Compute prices for ``problem`` and score them."""
+
+
+def _budget_tight_level(
+    spend_at: Callable[[float], float],
+    budget: float,
+    *,
+    tolerance: float = 1e-9,
+    max_doublings: int = 200,
+) -> float:
+    """Find ``level >= 0`` with ``spend_at(level) == budget`` by bisection.
+
+    ``spend_at`` must be continuous and non-decreasing with
+    ``spend_at(0) <= budget`` (always true here: a zero price means zero
+    payment regardless of participation).
+    """
+    if budget <= 0:
+        return 0.0
+    hi = 1.0
+    for _ in range(max_doublings):
+        if spend_at(hi) >= budget:
+            break
+        hi *= 2.0
+    else:
+        raise RuntimeError(
+            "could not bracket the budget-tight price level; spending "
+            "appears bounded below the budget"
+        )
+    lo = 0.0
+    while hi - lo > tolerance * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if spend_at(mid) > budget:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+class OptimalPricing(PricingScheme):
+    """The paper's mechanism: SE prices of the CPL game."""
+
+    name = "proposed"
+
+    def __init__(self, method: str = "kkt"):
+        self.method = method
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        equilibrium = solve_cpl_game(problem, method=self.method)
+        outcome = evaluate_posted_prices(
+            problem, equilibrium.prices, self.name, equilibrium=equilibrium
+        )
+        return outcome
+
+
+class UniformPricing(PricingScheme):
+    """Benchmark ``P^u``: the same price for every client, budget-tight."""
+
+    name = "uniform"
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        population = problem.population
+        contributions = problem.contributions
+
+        def spend_at(level: float) -> float:
+            prices = np.full(population.num_clients, level)
+            q = best_response_vector(prices, population, contributions)
+            return float(np.sum(prices * q))
+
+        level = _budget_tight_level(spend_at, problem.budget)
+        prices = np.full(population.num_clients, level)
+        return evaluate_posted_prices(problem, prices, self.name)
+
+
+class WeightedPricing(PricingScheme):
+    """Benchmark ``P^w``: prices proportional to datasize, budget-tight."""
+
+    name = "weighted"
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        population = problem.population
+        contributions = problem.contributions
+        # Normalize so `level` has the same scale as a uniform price.
+        shape = population.weights * population.num_clients
+
+        def spend_at(level: float) -> float:
+            prices = level * shape
+            q = best_response_vector(prices, population, contributions)
+            return float(np.sum(prices * q))
+
+        level = _budget_tight_level(spend_at, problem.budget)
+        return evaluate_posted_prices(problem, level * shape, self.name)
+
+
+def compare_schemes(
+    problem: ServerProblem,
+    schemes: Sequence[PricingScheme] = None,
+) -> dict:
+    """Apply several schemes to one problem; keyed by scheme name."""
+    if schemes is None:
+        schemes = (OptimalPricing(), WeightedPricing(), UniformPricing())
+    return {scheme.name: scheme.apply(problem) for scheme in schemes}

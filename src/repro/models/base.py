@@ -1,0 +1,77 @@
+"""Model interface for the from-scratch ML substrate.
+
+Models are *stateless*: hyperparameters live on the model object, while the
+learnable parameters travel as flat numpy vectors. This matches how FL treats
+models — as points in parameter space that are differenced, scaled, and
+aggregated — and keeps Lemma-1 aggregation a pure vector operation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+
+class Model(ABC):
+    """A differentiable supervised model over flat parameter vectors."""
+
+    @property
+    @abstractmethod
+    def num_params(self) -> int:
+        """Length of the flat parameter vector."""
+
+    @abstractmethod
+    def init_params(self) -> np.ndarray:
+        """Initial parameter vector ``w^0`` (the paper uses all-zeros)."""
+
+    @abstractmethod
+    def loss(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Mean regularized loss of ``params`` on ``(features, labels)``."""
+
+    @abstractmethod
+    def gradient(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Gradient of :meth:`loss` with respect to ``params``."""
+
+    @abstractmethod
+    def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Predicted integer labels for ``features``."""
+
+    @abstractmethod
+    def smoothness_constants(self, features: np.ndarray) -> Tuple[float, float]:
+        """Return ``(L, mu)`` valid for this model on ``features``.
+
+        ``L`` is a smoothness upper bound and ``mu`` a strong-convexity lower
+        bound (Assumption 1 of the paper). Both are analytic for the convex
+        models in this library — no estimation noise.
+        """
+
+    # Convenience wrappers over Dataset -------------------------------------
+
+    def dataset_loss(self, params: np.ndarray, dataset: Dataset) -> float:
+        """Mean loss on a :class:`Dataset`."""
+        return self.loss(params, dataset.features, dataset.labels)
+
+    def dataset_gradient(self, params: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Full-batch gradient on a :class:`Dataset`."""
+        return self.gradient(params, dataset.features, dataset.labels)
+
+    def dataset_accuracy(self, params: np.ndarray, dataset: Dataset) -> float:
+        """Classification accuracy on a :class:`Dataset`."""
+        predictions = self.predict(params, dataset.features)
+        return float(np.mean(predictions == dataset.labels))
+
+    def _check_params(self, params: np.ndarray) -> np.ndarray:
+        params = np.asarray(params, dtype=float)
+        if params.shape != (self.num_params,):
+            raise ValueError(
+                f"params must have shape ({self.num_params},), got {params.shape}"
+            )
+        return params

@@ -1,0 +1,165 @@
+"""Convex models satisfying the paper's Assumption 1.
+
+The paper's experiments use L2-regularized multinomial logistic regression,
+which is L-smooth and mu-strongly convex — exactly Assumption 1. A ridge
+regression model is also provided because its closed-form optimum makes it
+ideal for exact convergence tests of the FL engine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MultinomialLogisticRegression(Model):
+    """Softmax regression with L2 regularization.
+
+    Parameters are the flattened ``(num_classes, num_features)`` weight matrix
+    followed by the ``num_classes`` bias vector. The regularizer
+    ``(l2 / 2) ||w||^2`` covers weights *and* biases so the full objective is
+    ``l2``-strongly convex (Assumption 1) without special-casing coordinates.
+
+    Args:
+        num_features: Input dimensionality ``d``.
+        num_classes: Number of classes ``C``.
+        l2: Regularization strength; equals the strong-convexity modulus
+            ``mu``.
+    """
+
+    def __init__(self, num_features: int, num_classes: int, l2: float = 1e-2):
+        if num_features <= 0 or num_classes <= 1:
+            raise ValueError(
+                "need num_features >= 1 and num_classes >= 2, got "
+                f"{num_features}, {num_classes}"
+            )
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.l2 = check_positive(l2, "l2")
+
+    @property
+    def num_params(self) -> int:
+        return self.num_classes * (self.num_features + 1)
+
+    def init_params(self) -> np.ndarray:
+        return np.zeros(self.num_params)
+
+    def _unpack(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        params = self._check_params(params)
+        split = self.num_classes * self.num_features
+        weight = params[:split].reshape(self.num_classes, self.num_features)
+        bias = params[split:]
+        return weight, bias
+
+    def _logits(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
+        weight, bias = self._unpack(params)
+        return features @ weight.T + bias
+
+    def loss(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> float:
+        logits = self._logits(params, features)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        nll = -log_probs[np.arange(len(labels)), labels].mean()
+        return float(nll + 0.5 * self.l2 * params @ params)
+
+    def gradient(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        probabilities = _softmax(self._logits(params, features))
+        probabilities[np.arange(len(labels)), labels] -= 1.0
+        probabilities /= len(labels)
+        grad_weight = probabilities.T @ features
+        grad_bias = probabilities.sum(axis=0)
+        grad = np.concatenate([grad_weight.ravel(), grad_bias])
+        grad += self.l2 * self._check_params(params)
+        return grad
+
+    def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
+        return self._logits(params, features).argmax(axis=1)
+
+    def smoothness_constants(self, features: np.ndarray) -> Tuple[float, float]:
+        """Analytic ``(L, mu)`` for softmax cross-entropy + L2.
+
+        The softmax Hessian satisfies ``H <= (1/2) (diag block) x x^T`` per
+        sample (the 1/2 is the standard multiclass bound), so a valid global
+        smoothness constant on a dataset is
+        ``L = 0.5 * mean(||x||^2 + 1) + l2`` (the ``+1`` accounts for the
+        bias coordinate). Strong convexity is exactly ``mu = l2``.
+        """
+        squared_norms = np.sum(np.asarray(features, dtype=float) ** 2, axis=1)
+        smoothness = 0.5 * float(np.mean(squared_norms + 1.0)) + self.l2
+        return smoothness, self.l2
+
+
+class RidgeRegression(Model):
+    """Least-squares regression with L2 regularization.
+
+    Labels are treated as scalar real targets. The quadratic objective has a
+    closed-form optimum, which the test suite uses to check FL convergence to
+    the exact full-participation solution.
+    """
+
+    def __init__(self, num_features: int, l2: float = 1e-2):
+        if num_features <= 0:
+            raise ValueError(f"need num_features >= 1, got {num_features}")
+        self.num_features = int(num_features)
+        self.l2 = check_nonnegative(l2, "l2")
+
+    @property
+    def num_params(self) -> int:
+        return self.num_features + 1
+
+    def init_params(self) -> np.ndarray:
+        return np.zeros(self.num_params)
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        ones = np.ones((features.shape[0], 1))
+        return np.hstack([features, ones])
+
+    def loss(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> float:
+        params = self._check_params(params)
+        residuals = self._design(features) @ params - labels
+        return float(
+            0.5 * np.mean(residuals**2) + 0.5 * self.l2 * params @ params
+        )
+
+    def gradient(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        params = self._check_params(params)
+        design = self._design(features)
+        residuals = design @ params - labels
+        return design.T @ residuals / len(labels) + self.l2 * params
+
+    def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
+        params = self._check_params(params)
+        return self._design(features) @ params
+
+    def closed_form_optimum(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Exact minimizer of the regularized least-squares objective."""
+        design = self._design(features)
+        gram = design.T @ design / len(labels) + self.l2 * np.eye(self.num_params)
+        rhs = design.T @ np.asarray(labels, dtype=float) / len(labels)
+        return np.linalg.solve(gram, rhs)
+
+    def smoothness_constants(self, features: np.ndarray) -> Tuple[float, float]:
+        design = self._design(np.asarray(features, dtype=float))
+        gram = design.T @ design / design.shape[0]
+        eigenvalues = np.linalg.eigvalsh(gram)
+        return float(eigenvalues[-1] + self.l2), float(eigenvalues[0] + self.l2)

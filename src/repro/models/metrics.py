@@ -1,0 +1,51 @@
+"""Evaluation metrics for global models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.datasets.federated import FederatedDataset
+from repro.models.base import Model
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Loss and accuracy of a parameter vector on an evaluation set."""
+
+    loss: float
+    accuracy: float
+
+
+def evaluate(model: Model, params: np.ndarray, dataset: Dataset) -> Evaluation:
+    """Evaluate ``params`` on ``dataset`` (loss includes regularization)."""
+    return Evaluation(
+        loss=model.dataset_loss(params, dataset),
+        accuracy=model.dataset_accuracy(params, dataset),
+    )
+
+
+def global_loss(
+    model: Model, params: np.ndarray, federated: FederatedDataset
+) -> float:
+    """The paper's global objective ``F(w) = sum_n a_n F_n(w)`` (Eq. 2)."""
+    weights = federated.weights
+    losses = np.array(
+        [
+            model.dataset_loss(params, shard)
+            for shard in federated.client_datasets
+        ]
+    )
+    return float(weights @ losses)
+
+
+def per_client_losses(
+    model: Model, params: np.ndarray, federated: FederatedDataset
+) -> np.ndarray:
+    """Vector of local losses ``F_n(w)`` for each client."""
+    return np.array(
+        [model.dataset_loss(params, shard) for shard in federated.client_datasets]
+    )

@@ -1,0 +1,18 @@
+"""Simulated cross-device testbed (replaces the paper's 40-Pi prototype)."""
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.devices import DeviceProfile, raspberry_pi_fleet
+from repro.simulation.events import EventQueue
+from repro.simulation.network import SharedMediumNetwork, simulate_shared_uploads
+from repro.simulation.runtime import TestbedRuntime, build_testbed
+
+__all__ = [
+    "SimulatedClock",
+    "EventQueue",
+    "DeviceProfile",
+    "raspberry_pi_fleet",
+    "SharedMediumNetwork",
+    "simulate_shared_uploads",
+    "TestbedRuntime",
+    "build_testbed",
+]

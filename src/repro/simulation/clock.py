@@ -1,0 +1,36 @@
+"""A simulated wall clock.
+
+All "seconds" reported by the experiment harness are simulated-testbed
+seconds from this clock, making runs deterministic and hardware-independent.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """Monotonically advancing simulated time."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float) -> float:
+        """Move time forward by ``duration`` seconds; returns the new time."""
+        if duration < 0:
+            raise ValueError(f"cannot advance by negative duration {duration}")
+        self._now += float(duration)
+        return self._now
+
+    def wait_until(self, timestamp: float) -> float:
+        """Advance to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (between independent runs)."""
+        self._now = float(start)

@@ -1,0 +1,110 @@
+"""Device profiles for the simulated cross-device testbed.
+
+The paper's prototype uses 40 Raspberry Pis behind one enterprise Wi-Fi
+router. We model each device with a compute throughput (how fast it grinds
+SGD steps) and link rates, drawn from distributions loosely calibrated to a
+Raspberry Pi 4 running a small logistic-regression workload. The absolute
+constants only set the time *scale*; the experiments compare schemes on the
+same fleet, so ordering and ratios are what matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.validation import check_positive
+
+# A Pi-4-class core doing vectorized float64 math on small matrices:
+# roughly 2e8 multiply-accumulates per second sustained.
+_PI_MACS_PER_SECOND = 2.0e8
+# Per-SGD-step fixed overhead (interpreter, cache misses) in seconds.
+_PI_STEP_OVERHEAD = 2.0e-4
+# Wi-Fi per-device rates; the shared medium is modeled separately.
+_PI_UPLINK_BPS = 30e6
+_PI_DOWNLINK_BPS = 60e6
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Compute and link characteristics of one client device.
+
+    Attributes:
+        device_id: Client index this profile belongs to.
+        macs_per_second: Sustained multiply-accumulate throughput.
+        step_overhead: Fixed seconds per SGD step.
+        uplink_bps: Device-side uplink rate cap.
+        downlink_bps: Device-side downlink rate cap.
+    """
+
+    device_id: int
+    macs_per_second: float
+    step_overhead: float
+    uplink_bps: float
+    downlink_bps: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.macs_per_second, "macs_per_second")
+        check_positive(self.uplink_bps, "uplink_bps")
+        check_positive(self.downlink_bps, "downlink_bps")
+        if self.step_overhead < 0:
+            raise ValueError("step_overhead must be non-negative")
+
+    def sgd_step_time(self, batch_size: int, num_params: int) -> float:
+        """Seconds for one mini-batch SGD step.
+
+        A logistic-regression gradient costs about ``2 * batch * params``
+        MACs (forward + backward).
+        """
+        macs = 2.0 * batch_size * num_params
+        return macs / self.macs_per_second + self.step_overhead
+
+    def local_update_time(
+        self, local_steps: int, batch_size: int, num_params: int
+    ) -> float:
+        """Seconds for ``E`` local SGD steps."""
+        return local_steps * self.sgd_step_time(batch_size, num_params)
+
+
+def raspberry_pi_fleet(
+    num_devices: int,
+    *,
+    heterogeneity: float = 0.35,
+    rng: SeedLike = None,
+) -> List[DeviceProfile]:
+    """Generate a heterogeneous fleet of Pi-like devices.
+
+    Compute throughput and link rates are drawn log-normally around the
+    Pi-4 constants; ``heterogeneity`` is the log-scale sigma (0 gives an
+    identical fleet).
+
+    Args:
+        num_devices: Fleet size (paper: 40).
+        heterogeneity: Log-normal sigma of device-to-device variation.
+        rng: Seed or generator.
+
+    Returns:
+        One :class:`DeviceProfile` per device.
+    """
+    if num_devices < 1:
+        raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+    if heterogeneity < 0:
+        raise ValueError("heterogeneity must be non-negative")
+    generator = spawn_rng(rng)
+
+    def lognormal(scale: float) -> float:
+        return float(scale * np.exp(generator.normal(0.0, heterogeneity)))
+
+    return [
+        DeviceProfile(
+            device_id=device_id,
+            macs_per_second=lognormal(_PI_MACS_PER_SECOND),
+            step_overhead=_PI_STEP_OVERHEAD,
+            uplink_bps=lognormal(_PI_UPLINK_BPS),
+            downlink_bps=lognormal(_PI_DOWNLINK_BPS),
+        )
+        for device_id in range(num_devices)
+    ]

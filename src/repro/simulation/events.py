@@ -1,0 +1,110 @@
+"""A minimal discrete-event engine.
+
+The network model uses this to simulate staggered uploads over a shared
+medium; it is also exposed publicly because event-driven experiments
+(stragglers, asynchronous arrivals) are natural extensions of the paper's
+synchronous setting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    callback: Callable[["EventQueue"], None] = field(compare=False)
+    tag: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Priority queue of timestamped callbacks with a simulated clock.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO),
+    which keeps simulations deterministic.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = float(start)
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events not yet fired."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[["EventQueue"], None],
+        *,
+        tag: str = "",
+    ) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._heap,
+            _ScheduledEvent(
+                time=self._now + delay,
+                sequence=next(self._counter),
+                callback=callback,
+                tag=tag,
+            ),
+        )
+
+    def schedule_at(
+        self,
+        timestamp: float,
+        callback: Callable[["EventQueue"], None],
+        *,
+        tag: str = "",
+    ) -> None:
+        """Schedule ``callback`` at an absolute simulated time."""
+        self.schedule(timestamp - self._now, callback, tag=tag)
+
+    def step(self) -> Optional[str]:
+        """Fire the next event; returns its tag, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._processed += 1
+        event.callback(self)
+        return event.tag
+
+    def run(self, *, until: float = None, max_events: int = 1_000_000) -> float:
+        """Fire events until the queue drains (or ``until`` / ``max_events``).
+
+        Returns the simulated time when processing stopped.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = float(until)
+                break
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"event cascade exceeded max_events={max_events}; "
+                    "likely a self-rescheduling loop"
+                )
+            self.step()
+            fired += 1
+        return self._now

@@ -1,0 +1,133 @@
+"""Shared-medium network model (the prototype's enterprise Wi-Fi router).
+
+Uploads from concurrently transmitting devices share the access point's
+capacity (processor-sharing), with each flow additionally capped by its own
+device-side link rate. :func:`simulate_shared_uploads` computes exact flow
+completion times for that fluid model by stepping through rate-change events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class SharedMediumNetwork:
+    """An access point with finite aggregate capacity.
+
+    Attributes:
+        capacity_bps: Total medium capacity shared by concurrent flows.
+        connection_overhead: Per-transfer fixed latency (TCP handshake,
+            scheduling) in seconds.
+    """
+
+    capacity_bps: float = 200e6
+    connection_overhead: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_bps, "capacity_bps")
+        check_nonnegative(self.connection_overhead, "connection_overhead")
+
+    def solo_transfer_time(self, payload_bits: float, link_bps: float) -> float:
+        """Transfer time for a single flow with no contention."""
+        rate = min(link_bps, self.capacity_bps)
+        return self.connection_overhead + payload_bits / rate
+
+
+def _fair_share_rates(
+    remaining: Dict[int, float],
+    link_caps: Dict[int, float],
+    capacity: float,
+) -> Dict[int, float]:
+    """Max-min fair rates for active flows under a shared capacity.
+
+    Each flow is capped by its own link rate; leftover capacity from capped
+    flows is redistributed among the rest (water-filling).
+    """
+    active = [flow for flow, bits in remaining.items() if bits > 0]
+    rates: Dict[int, float] = {}
+    unconstrained = list(active)
+    budget = capacity
+    while unconstrained:
+        share = budget / len(unconstrained)
+        capped = [
+            flow for flow in unconstrained if link_caps[flow] <= share
+        ]
+        if not capped:
+            for flow in unconstrained:
+                rates[flow] = share
+            break
+        for flow in capped:
+            rates[flow] = link_caps[flow]
+            budget -= link_caps[flow]
+            unconstrained.remove(flow)
+    return rates
+
+
+def simulate_shared_uploads(
+    start_times: Sequence[float],
+    payload_bits: Sequence[float],
+    link_bps: Sequence[float],
+    network: SharedMediumNetwork,
+) -> np.ndarray:
+    """Completion times of flows sharing the medium (fluid model).
+
+    Args:
+        start_times: When each flow begins transmitting (e.g. when the
+            device finishes its local computation).
+        payload_bits: Size of each flow.
+        link_bps: Device-side rate cap of each flow.
+        network: The shared medium.
+
+    Returns:
+        Array of absolute completion times, same order as inputs.
+    """
+    start_times = np.asarray(start_times, dtype=float)
+    payload_bits = np.asarray(payload_bits, dtype=float)
+    link_bps = np.asarray(link_bps, dtype=float)
+    if not (len(start_times) == len(payload_bits) == len(link_bps)):
+        raise ValueError("flow arrays must have equal length")
+    num_flows = len(start_times)
+    if num_flows == 0:
+        return np.array([])
+
+    effective_start = start_times + network.connection_overhead
+    remaining = {flow: float(payload_bits[flow]) for flow in range(num_flows)}
+    caps = {flow: float(link_bps[flow]) for flow in range(num_flows)}
+    finish = np.full(num_flows, np.inf)
+
+    pending = sorted(range(num_flows), key=lambda flow: effective_start[flow])
+    active: Dict[int, float] = {}
+    now = effective_start[pending[0]]
+
+    while pending or active:
+        # Admit flows that have started by `now`.
+        while pending and effective_start[pending[0]] <= now + 1e-12:
+            flow = pending.pop(0)
+            active[flow] = remaining[flow]
+        if not active:
+            now = effective_start[pending[0]]
+            continue
+        rates = _fair_share_rates(active, caps, network.capacity_bps)
+        # Next rate-change event: a flow finishing or a new arrival.
+        time_to_finish = {
+            flow: active[flow] / rates[flow] for flow in active if rates[flow] > 0
+        }
+        next_finish = min(time_to_finish.values())
+        next_arrival = (
+            effective_start[pending[0]] - now if pending else np.inf
+        )
+        delta = min(next_finish, next_arrival)
+        for flow in list(active):
+            active[flow] -= rates[flow] * delta
+            if active[flow] <= 1e-9:
+                finish[flow] = now + delta
+                del active[flow]
+        now += delta
+
+    return finish

@@ -1,0 +1,128 @@
+"""Round timing on the simulated testbed.
+
+A synchronous FL round on the prototype looks like:
+
+1. the server broadcasts the global model to the round's participants,
+2. each participant computes ``E`` local SGD steps at its own speed,
+3. participants upload their models over the shared Wi-Fi medium,
+4. the server aggregates (fast; a small fixed overhead).
+
+The round finishes when the slowest participant's upload lands — that
+max-of-participants structure is what couples the pricing scheme to
+wall-clock performance: schemes that recruit many slow devices at high
+participation levels pay for it in round duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fl.trainer import RoundTimer
+from repro.simulation.devices import DeviceProfile
+from repro.simulation.network import SharedMediumNetwork, simulate_shared_uploads
+from repro.utils.validation import check_nonnegative
+
+_BITS_PER_PARAM = 64  # float64 over the TCP socket interface.
+
+
+@dataclass(frozen=True)
+class TestbedRuntime:
+    """Timing model for the simulated 40-Pi testbed.
+
+    Attributes:
+        devices: Fleet profiles, one per client.
+        network: Shared uplink medium.
+        num_params: Model size in parameters (sets payload size).
+        local_steps: Local SGD iterations per round ``E``.
+        batch_size: Local mini-batch size.
+        server_overhead: Aggregation plus bookkeeping seconds per round.
+    """
+
+    # Class name starts with "Test"; tell pytest it is not a test case.
+    __test__ = False
+
+    devices: List[DeviceProfile]
+    network: SharedMediumNetwork
+    num_params: int
+    local_steps: int
+    batch_size: int
+    server_overhead: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("need at least one device profile")
+        if self.num_params < 1:
+            raise ValueError("num_params must be >= 1")
+        check_nonnegative(self.server_overhead, "server_overhead")
+
+    @property
+    def payload_bits(self) -> float:
+        """Size of one serialized model update."""
+        return float(self.num_params * _BITS_PER_PARAM)
+
+    def round_duration(self, mask: Sequence[bool]) -> float:
+        """Duration of one synchronous round for a participant mask.
+
+        An empty round costs only the server overhead (the server notices
+        nobody checked in).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        participants = np.flatnonzero(mask)
+        if participants.size == 0:
+            return self.server_overhead
+
+        compute_done = []
+        uplink_caps = []
+        for index in participants:
+            device = self.devices[index]
+            downlink = self.network.solo_transfer_time(
+                self.payload_bits, device.downlink_bps
+            )
+            compute = device.local_update_time(
+                self.local_steps, self.batch_size, self.num_params
+            )
+            compute_done.append(downlink + compute)
+            uplink_caps.append(device.uplink_bps)
+
+        completions = simulate_shared_uploads(
+            compute_done,
+            [self.payload_bits] * participants.size,
+            uplink_caps,
+            self.network,
+        )
+        return float(completions.max()) + self.server_overhead
+
+    def round_timer(self) -> RoundTimer:
+        """Adapter usable as ``FederatedTrainer(round_timer=...)``."""
+
+        def timer(mask: np.ndarray, round_index: int) -> float:
+            return self.round_duration(mask)
+
+        return timer
+
+
+def build_testbed(
+    num_clients: int,
+    num_params: int,
+    *,
+    local_steps: int = 100,
+    batch_size: int = 24,
+    heterogeneity: float = 0.35,
+    capacity_bps: float = 200e6,
+    rng=None,
+) -> TestbedRuntime:
+    """Convenience constructor for the default Pi fleet + Wi-Fi medium."""
+    from repro.simulation.devices import raspberry_pi_fleet
+
+    return TestbedRuntime(
+        devices=raspberry_pi_fleet(
+            num_clients, heterogeneity=heterogeneity, rng=rng
+        ),
+        network=SharedMediumNetwork(capacity_bps=capacity_bps),
+        num_params=num_params,
+        local_steps=local_steps,
+        batch_size=batch_size,
+    )

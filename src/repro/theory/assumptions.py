@@ -1,0 +1,97 @@
+"""Problem constants under the paper's Assumptions 1-3.
+
+Everything Theorem 1 needs about the learning task is collected in
+:class:`ProblemConstants`: smoothness ``L`` and strong convexity ``mu``
+(Assumption 1), per-client gradient-noise levels ``sigma_n`` (Assumption 2),
+per-client gradient-norm bounds ``G_n`` (Assumption 3, deliberately
+client-specific to capture non-IID data), data weights ``a_n``, the optima
+``F*`` and ``F*_n``, and the initial distance ``||w^0 - w*||^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class ProblemConstants:
+    """Constants of one federated learning task.
+
+    Attributes:
+        smoothness: ``L`` from Assumption 1.
+        strong_convexity: ``mu`` from Assumption 1.
+        local_steps: Local SGD iterations per round ``E``.
+        weights: Data weights ``a_n`` (sum to 1).
+        gradient_bounds: Per-client stochastic-gradient norm bounds ``G_n``.
+        gradient_variances: Per-client variances ``sigma_n^2``.
+        f_star: Global optimum value ``F*``.
+        f_star_local: Local optima ``F*_n`` (used in ``Gamma``).
+        initial_distance_sq: ``||w^0 - w*||^2``.
+    """
+
+    smoothness: float
+    strong_convexity: float
+    local_steps: int
+    weights: np.ndarray
+    gradient_bounds: np.ndarray
+    gradient_variances: np.ndarray
+    f_star: float = 0.0
+    f_star_local: Optional[np.ndarray] = None
+    initial_distance_sq: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.smoothness, "smoothness")
+        check_positive(self.strong_convexity, "strong_convexity")
+        if self.strong_convexity > self.smoothness:
+            raise ValueError(
+                f"mu={self.strong_convexity} exceeds L={self.smoothness}"
+            )
+        if self.local_steps < 1:
+            raise ValueError("local_steps must be >= 1")
+        check_nonnegative(self.initial_distance_sq, "initial_distance_sq")
+
+        weights = np.asarray(self.weights, dtype=float)
+        bounds = np.asarray(self.gradient_bounds, dtype=float)
+        variances = np.asarray(self.gradient_variances, dtype=float)
+        n = weights.size
+        if not (bounds.size == n and variances.size == n):
+            raise ValueError("weights, gradient_bounds, gradient_variances "
+                             "must have equal length")
+        if not np.isclose(weights.sum(), 1.0):
+            raise ValueError(f"weights must sum to 1, got {weights.sum()}")
+        if np.any(weights <= 0):
+            raise ValueError("weights must be strictly positive")
+        if np.any(bounds <= 0):
+            raise ValueError("gradient_bounds must be strictly positive")
+        if np.any(variances < 0):
+            raise ValueError("gradient_variances must be non-negative")
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "gradient_bounds", bounds)
+        object.__setattr__(self, "gradient_variances", variances)
+        if self.f_star_local is not None:
+            local = np.asarray(self.f_star_local, dtype=float)
+            if local.size != n:
+                raise ValueError("f_star_local must have one entry per client")
+            object.__setattr__(self, "f_star_local", local)
+
+    @property
+    def num_clients(self) -> int:
+        """Number of clients ``N``."""
+        return int(self.weights.size)
+
+    @property
+    def gamma(self) -> float:
+        """Heterogeneity measure ``Gamma = F* - sum_n a_n F*_n`` (>= 0)."""
+        if self.f_star_local is None:
+            return 0.0
+        return float(self.f_star - self.weights @ self.f_star_local)
+
+    @property
+    def data_quality(self) -> np.ndarray:
+        """The pricing-relevant product ``a_n * G_n`` from Theorems 2-3."""
+        return self.weights * self.gradient_bounds

@@ -1,0 +1,65 @@
+"""JSON persistence for configs and experiment artifacts.
+
+Experiment outputs (equilibria, training histories, table rows) are plain
+dataclasses and numpy arrays; :func:`to_jsonable` converts them to built-in
+types so results can be archived and diffed as text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serializable built-ins.
+
+    Supports dataclasses, numpy scalars/arrays, mappings, and sequences.
+    Unknown objects fall back to ``str`` only if they define a custom
+    ``__str__``-worthy identity via ``to_dict``; otherwise a ``TypeError``
+    is raised so silent lossy serialization cannot happen.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if hasattr(obj, "to_dict") and callable(obj.to_dict):
+        return to_jsonable(obj.to_dict())
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in obj]
+    raise TypeError(f"Cannot serialize object of type {type(obj).__name__}")
+
+
+def save_json(obj: Any, path: PathLike, *, indent: int = 2) -> Path:
+    """Serialize ``obj`` to ``path``; parent directories are created."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+renderer keeps that output aligned and diff-friendly without pulling in a
+formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any, float_format: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+    float_format: str = ",.2f",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; each row must have ``len(headers)`` entries.
+        title: Optional title line rendered above the table.
+        float_format: ``format()`` spec applied to float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    header_cells = [str(header) for header in headers]
+    body = []
+    for row in rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header_cells)}: {row!r}"
+            )
+        body.append([_format_cell(cell, float_format) for cell in row])
+
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

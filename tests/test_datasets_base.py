@@ -1,0 +1,121 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, concatenate
+
+
+def _dataset(n=10, d=3, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, d)),
+        labels=rng.integers(0, classes, size=n),
+        num_classes=classes,
+    )
+
+
+def test_len_and_dims():
+    ds = _dataset(n=7, d=5)
+    assert len(ds) == 7
+    assert ds.num_features == 5
+
+
+def test_num_classes_inferred():
+    ds = Dataset(features=np.zeros((3, 2)), labels=np.array([0, 2, 1]))
+    assert ds.num_classes == 3
+
+
+def test_labels_out_of_range_rejected():
+    with pytest.raises(ValueError, match="labels"):
+        Dataset(
+            features=np.zeros((2, 2)),
+            labels=np.array([0, 5]),
+            num_classes=3,
+        )
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError, match="sample count"):
+        Dataset(features=np.zeros((3, 2)), labels=np.zeros(2, dtype=int))
+
+
+def test_non_2d_features_rejected():
+    with pytest.raises(ValueError, match="2-D"):
+        Dataset(features=np.zeros(3), labels=np.zeros(3, dtype=int))
+
+
+def test_subset_copies():
+    ds = _dataset()
+    sub = ds.subset([0, 1])
+    sub.features[0, 0] = 999.0
+    assert ds.features[0, 0] != 999.0
+
+
+def test_subset_preserves_num_classes():
+    ds = _dataset(classes=6)
+    assert ds.subset([0]).num_classes == 6
+
+
+def test_split_sizes():
+    ds = _dataset(n=20)
+    train, test = ds.split(0.25, rng=1)
+    assert len(train) == 15 and len(test) == 5
+
+
+def test_split_disjoint_and_exhaustive():
+    ds = Dataset(
+        features=np.arange(20, dtype=float).reshape(10, 2),
+        labels=np.zeros(10, dtype=int),
+        num_classes=2,
+    )
+    train, test = ds.split(0.3, rng=2)
+    combined = sorted(
+        train.features[:, 0].tolist() + test.features[:, 0].tolist()
+    )
+    assert combined == sorted(ds.features[:, 0].tolist())
+
+
+def test_split_invalid_fraction():
+    with pytest.raises(ValueError):
+        _dataset().split(1.0)
+
+
+def test_shuffled_is_permutation():
+    ds = _dataset(n=15)
+    shuffled = ds.shuffled(rng=3)
+    assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+
+
+def test_class_counts():
+    ds = Dataset(
+        features=np.zeros((4, 1)),
+        labels=np.array([0, 0, 2, 2]),
+        num_classes=3,
+    )
+    assert ds.class_counts().tolist() == [2, 0, 2]
+
+
+def test_classes_present():
+    ds = Dataset(
+        features=np.zeros((3, 1)),
+        labels=np.array([2, 0, 2]),
+        num_classes=4,
+    )
+    assert ds.classes_present().tolist() == [0, 2]
+
+
+def test_concatenate():
+    a, b = _dataset(n=4, seed=1), _dataset(n=6, seed=2)
+    combined = concatenate([a, b])
+    assert len(combined) == 10
+
+
+def test_concatenate_dim_mismatch():
+    with pytest.raises(ValueError, match="dimension"):
+        concatenate([_dataset(d=2), _dataset(d=3)])
+
+
+def test_concatenate_empty_list():
+    with pytest.raises(ValueError):
+        concatenate([])

@@ -1,0 +1,142 @@
+"""Tests for partitioners: power-law sizes, label-limited, Dirichlet, IID."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    partition_by_label_limit,
+    power_law_sizes,
+)
+
+
+def _pool(n=2000, classes=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, 4)),
+        labels=rng.integers(0, classes, size=n),
+        num_classes=classes,
+    )
+
+
+class TestPowerLawSizes:
+    def test_sums_to_total(self):
+        sizes = power_law_sizes(10_000, 40, rng=0)
+        assert sizes.sum() == 10_000
+
+    def test_respects_min_size(self):
+        sizes = power_law_sizes(1000, 20, min_size=10, rng=1)
+        assert sizes.min() >= 10
+
+    def test_unbalanced(self):
+        sizes = power_law_sizes(10_000, 40, exponent=1.5, rng=2)
+        assert sizes.max() > 5 * sizes.min()
+
+    def test_higher_exponent_more_skew(self):
+        mild = power_law_sizes(20_000, 30, exponent=0.5, rng=3)
+        harsh = power_law_sizes(20_000, 30, exponent=2.5, rng=3)
+        assert harsh.max() > mild.max()
+
+    def test_infeasible_total_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            power_law_sizes(10, 20, min_size=8)
+
+    def test_deterministic_with_seed(self):
+        assert np.array_equal(
+            power_law_sizes(500, 10, rng=9), power_law_sizes(500, 10, rng=9)
+        )
+
+
+class TestLabelLimitPartition:
+    def test_sizes_honored(self):
+        pool = _pool()
+        sizes = np.full(8, 100)
+        shards = partition_by_label_limit(
+            pool, 8, classes_per_client=2, sizes=sizes, rng=0
+        )
+        assert [len(shard) for shard in shards] == [100] * 8
+
+    def test_classes_per_client_limited(self):
+        pool = _pool()
+        shards = partition_by_label_limit(
+            pool, 10, classes_per_client=(1, 3), sizes=np.full(10, 50), rng=1
+        )
+        for shard in shards:
+            assert 1 <= len(shard.classes_present()) <= 3
+
+    def test_all_classes_covered_collectively(self):
+        pool = _pool(classes=10)
+        shards = partition_by_label_limit(
+            pool, 12, classes_per_client=(1, 2), sizes=np.full(12, 60), rng=2
+        )
+        covered = set()
+        for shard in shards:
+            covered.update(shard.classes_present().tolist())
+        assert covered == set(range(10))
+
+    def test_num_classes_preserved_on_shards(self):
+        pool = _pool(classes=7)
+        shards = partition_by_label_limit(
+            pool, 4, classes_per_client=1, sizes=np.full(4, 30), rng=3
+        )
+        assert all(shard.num_classes == 7 for shard in shards)
+
+    def test_oversubscription_rejected(self):
+        pool = _pool(n=100)
+        with pytest.raises(ValueError, match="requested"):
+            partition_by_label_limit(
+                pool, 4, classes_per_client=2, sizes=np.full(4, 50), rng=0
+            )
+
+    def test_invalid_class_range_rejected(self):
+        pool = _pool(classes=5)
+        with pytest.raises(ValueError):
+            partition_by_label_limit(
+                pool, 4, classes_per_client=(0, 3), sizes=np.full(4, 10)
+            )
+
+
+class TestDirichletPartition:
+    def test_partition_exhaustive(self):
+        pool = _pool(n=600, classes=5)
+        shards = dirichlet_partition(pool, 6, concentration=0.5, rng=0)
+        assert sum(len(shard) for shard in shards) == 600
+
+    def test_low_concentration_skews_labels(self):
+        pool = _pool(n=4000, classes=5, seed=1)
+        skewed = dirichlet_partition(pool, 8, concentration=0.05, rng=1)
+        flat = dirichlet_partition(pool, 8, concentration=100.0, rng=1)
+
+        def mean_label_entropy(shards):
+            entropies = []
+            for shard in shards:
+                p = shard.class_counts() / max(len(shard), 1)
+                p = p[p > 0]
+                entropies.append(float(-(p * np.log(p)).sum()))
+            return np.mean(entropies)
+
+        assert mean_label_entropy(skewed) < mean_label_entropy(flat)
+
+    def test_min_size_respected(self):
+        pool = _pool(n=1000)
+        shards = dirichlet_partition(pool, 5, min_size=5, rng=4)
+        assert min(len(shard) for shard in shards) >= 5
+
+
+class TestIidPartition:
+    def test_even_split(self):
+        pool = _pool(n=100)
+        shards = iid_partition(pool, 4, rng=0)
+        assert [len(shard) for shard in shards] == [25, 25, 25, 25]
+
+    def test_custom_sizes(self):
+        pool = _pool(n=100)
+        shards = iid_partition(pool, 3, sizes=[10, 20, 30], rng=0)
+        assert [len(shard) for shard in shards] == [10, 20, 30]
+
+    def test_sizes_exceeding_pool_rejected(self):
+        pool = _pool(n=10)
+        with pytest.raises(ValueError):
+            iid_partition(pool, 2, sizes=[8, 8])

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _ci_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "ci")
+
+
+class TestEquilibriumCommand:
+    def test_prints_summary(self, capsys):
+        code = main(["--setup", "setup1", "equilibrium"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lambda_star" in out
+        assert "Per-client equilibrium" in out
+
+    def test_writes_artifact(self, tmp_path, capsys):
+        code = main(
+            ["--setup", "setup1", "--out", str(tmp_path), "equilibrium"]
+        )
+        assert code == 0
+        payload = json.loads(
+            (tmp_path / "equilibrium_setup1.json").read_text()
+        )
+        assert "summary" in payload
+        assert len(payload["q"]) == len(payload["prices"])
+
+
+class TestTableCommand:
+    def test_table5_fast_path(self, capsys, tmp_path):
+        code = main(
+            ["--out", str(tmp_path), "table", "--id", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Negative-payment clients" in out
+        rows = json.loads((tmp_path / "table5.json").read_text())["rows"]
+        assert len(rows) == 3
+
+    def test_table2_with_training(self, capsys):
+        code = main(["table", "--id", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "target loss" in out
+        assert "savings" in out
+
+    def test_table4(self, capsys):
+        code = main(["table", "--id", "4"])
+        assert code == 0
+        assert "client-utility gain" in capsys.readouterr().out
+
+
+class TestFigCommand:
+    def test_fig4(self, capsys, tmp_path):
+        code = main(
+            ["--out", str(tmp_path), "fig", "--id", "4", "--repeats", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final loss" in out
+        assert (tmp_path / "fig4_setup1_summary.json").exists()
+
+    def test_fig7_budget_sweep(self, capsys, tmp_path):
+        code = main(
+            ["--out", str(tmp_path), "fig", "--id", "7", "--repeats", "1"]
+        )
+        assert code == 0
+        assert "Fig. 7 sweep" in capsys.readouterr().out
+        assert (tmp_path / "fig7_setup1.csv").exists()
+
+
+class TestArgumentValidation:
+    def test_unknown_setup_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--setup", "setup9", "equilibrium"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_table_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "--id", "1"])

@@ -1,0 +1,218 @@
+"""End-to-end tests of the experiment pipeline at CI scale.
+
+These are the repository's integration tests: dataset -> estimation ->
+calibration -> game -> FL training on the simulated testbed -> tables and
+figures. Kept at ``ci`` scale so the whole file runs in well under a minute.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    SETUP1,
+    apply_scale,
+    comparison_summary,
+    fig4_series,
+    prepare_setup,
+    reachable_accuracy_target,
+    reachable_loss_target,
+    run_pricing_comparison,
+    speedup_percentages,
+    sweep_budget,
+    sweep_mean_value,
+    sweep_series,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    scale = SCALES["ci"]
+    config = apply_scale(SETUP1, scale)
+    return prepare_setup(config, scale=scale, seed=0)
+
+
+@pytest.fixture(scope="module")
+def comparison(prepared):
+    return run_pricing_comparison(prepared, repeats=1)
+
+
+class TestPreparedSetup:
+    def test_calibrated_alpha_positive(self, prepared):
+        assert prepared.alpha > 0
+        assert prepared.beta > 0
+
+    def test_population_matches_dataset(self, prepared):
+        assert (
+            prepared.problem.population.num_clients
+            == prepared.federated.num_clients
+        )
+        assert np.allclose(
+            prepared.problem.population.weights, prepared.federated.weights
+        )
+
+    def test_budget_scaled(self, prepared):
+        fraction = SCALES["ci"].num_clients / 40
+        assert prepared.problem.budget == pytest.approx(200.0 * fraction)
+
+    def test_with_budget(self, prepared):
+        doubled = prepared.with_budget(prepared.problem.budget * 2)
+        assert doubled.problem.budget == pytest.approx(
+            2 * prepared.problem.budget
+        )
+        # Original untouched (frozen dataclasses).
+        assert doubled.problem.budget != prepared.problem.budget
+
+    def test_with_mean_value_rescales_proportionally(self, prepared):
+        variant = prepared.with_mean_value(8_000.0)
+        base = prepared.with_mean_value(4_000.0)
+        assert np.allclose(
+            variant.problem.population.values,
+            2 * base.problem.population.values,
+        )
+
+    def test_with_mean_cost_sets_mean(self, prepared):
+        variant = prepared.with_mean_cost(123.0)
+        assert variant.problem.population.costs.mean() == pytest.approx(123.0)
+
+
+class TestPricingComparison:
+    def test_all_three_schemes_present(self, comparison):
+        assert set(comparison) == {"proposed", "weighted", "uniform"}
+
+    def test_proposed_minimizes_surrogate(self, comparison):
+        proposed = comparison["proposed"].outcome.objective_gap
+        for name in ("weighted", "uniform"):
+            assert proposed <= comparison[name].outcome.objective_gap + 1e-12
+
+    def test_all_schemes_respect_budget(self, comparison, prepared):
+        for result in comparison.values():
+            assert result.outcome.spending <= prepared.problem.budget * (
+                1 + 1e-4
+            )
+
+    def test_histories_recorded(self, comparison):
+        for result in comparison.values():
+            assert len(result.histories) == 1
+            assert result.histories[0].total_time > 0
+
+    def test_client_utilities_higher_under_proposed(self, comparison):
+        proposed = comparison["proposed"].outcome.total_client_utility
+        for name in ("weighted", "uniform"):
+            assert proposed >= comparison[name].outcome.total_client_utility - 1e-9
+
+    def test_summary_serializable(self, comparison):
+        from repro.utils.serialization import to_jsonable
+
+        summary = comparison_summary(comparison)
+        payload = to_jsonable(summary)
+        assert set(payload) == {"proposed", "weighted", "uniform"}
+
+
+class TestTables:
+    def test_table2_all_times_finite(self, comparison):
+        rows, targets = table2_rows({"setup1": comparison})
+        assert len(rows) == 1
+        for cell in rows[0][1:4]:
+            assert math.isfinite(cell)
+
+    def test_table2_target_reachable_by_all(self, comparison):
+        target = reachable_loss_target(comparison)
+        for result in comparison.values():
+            for history in result.histories:
+                assert history.final_global_loss() <= target
+
+    def test_table3_all_times_finite(self, comparison):
+        rows, _ = table3_rows({"setup1": comparison})
+        for cell in rows[0][1:4]:
+            assert math.isfinite(cell)
+
+    def test_table3_target_reachable(self, comparison):
+        target = reachable_accuracy_target(comparison)
+        for result in comparison.values():
+            for history in result.histories:
+                assert history.final_test_accuracy() >= target
+
+    def test_table4_gains_nonnegative(self, comparison):
+        rows = table4_rows({"setup1": comparison})
+        assert rows[0][1] >= -1e-9
+        assert rows[0][2] >= -1e-9
+
+    def test_table5_counts_nondecreasing_in_value(self, prepared):
+        rows = table5_rows(prepared, mean_values=(0.0, 4_000.0, 80_000.0))
+        counts = [row[1] for row in rows]
+        assert counts[0] == 0  # no intrinsic value -> no one pays the server
+        assert counts == sorted(counts)
+
+    def test_speedup_percentages_math(self):
+        row = ["s", 50.0, 100.0, 200.0, 0.4]
+        pct = speedup_percentages(row)
+        assert pct["vs_weighted_pct"] == pytest.approx(50.0)
+        assert pct["vs_uniform_pct"] == pytest.approx(75.0)
+
+
+class TestFigures:
+    def test_fig4_series_structure(self, comparison):
+        series = fig4_series(comparison)
+        assert set(series) == {"proposed", "weighted", "uniform"}
+        for curves in series.values():
+            assert len(curves["times"]) == len(curves["loss_mean"])
+            assert np.nanmax(curves["loss_mean"]) > 0
+
+    def test_fig4_losses_decrease(self, comparison):
+        series = fig4_series(comparison)
+        for curves in series.values():
+            losses = curves["loss_mean"]
+            valid = losses[~np.isnan(losses)]
+            assert valid[-1] < valid[0]
+
+    def test_sweep_mean_value_game_only(self, prepared):
+        points = sweep_mean_value(
+            prepared, values=(0.0, 4_000.0), train=False
+        )
+        series = sweep_series(points)
+        assert series["parameters"].tolist() == [0.0, 4_000.0]
+        assert np.all(np.isnan(series["loss"]))  # no training requested
+        assert np.all(series["mean_q"] > 0)
+
+    def test_sweep_budget_monotone_mean_q(self, prepared):
+        budgets = [
+            prepared.problem.budget * f for f in (0.25, 1.0, 4.0)
+        ]
+        points = sweep_budget(prepared, budgets, train=False)
+        mean_qs = [float(point.result.outcome.q.mean()) for point in points]
+        assert mean_qs == sorted(mean_qs)  # Proposition 1 in action
+
+    def test_sweep_with_training(self, prepared):
+        points = sweep_mean_value(
+            prepared, values=(4_000.0,), repeats=1, train=True
+        )
+        series = sweep_series(points)
+        assert np.isfinite(series["loss"][0])
+        assert 0 <= series["accuracy"][0] <= 1
+
+
+class TestReporting:
+    def test_export_comparison(self, comparison, tmp_path):
+        from repro.experiments import export_comparison
+
+        written = export_comparison(comparison, tmp_path, prefix="setup1")
+        names = {path.name for path in written}
+        assert "setup1_summary.json" in names
+        assert "setup1_proposed_curves.csv" in names
+
+    def test_export_sweep(self, prepared, tmp_path):
+        from repro.experiments import export_sweep
+
+        points = sweep_mean_value(prepared, values=(0.0, 100.0), train=False)
+        series = sweep_series(points)
+        path = export_sweep(series, tmp_path / "fig5.csv")
+        content = path.read_text()
+        assert content.startswith("parameter,")
+        assert len(content.splitlines()) == 3

@@ -1,0 +1,97 @@
+"""Tests for the experiment runner's result containers and determinism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SCALES,
+    SETUP1,
+    apply_scale,
+    prepare_setup,
+    render_negative_payment_table,
+    render_time_table,
+    render_utility_table,
+    run_history,
+)
+from repro.experiments.runner import SchemeResult
+from repro.game import UniformPricing
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    scale = SCALES["ci"]
+    config = apply_scale(SETUP1, scale)
+    return prepare_setup(config, scale=scale, seed=2)
+
+
+class TestRunHistory:
+    def test_deterministic_for_same_seed(self, prepared):
+        q = np.full(prepared.federated.num_clients, 0.5)
+        a = run_history(prepared, q, seed=3)
+        b = run_history(prepared, q, seed=3)
+        assert a.final_global_loss() == b.final_global_loss()
+        assert a.total_time == b.total_time
+
+    def test_different_seeds_differ(self, prepared):
+        q = np.full(prepared.federated.num_clients, 0.5)
+        a = run_history(prepared, q, seed=3)
+        b = run_history(prepared, q, seed=4)
+        assert a.final_global_loss() != b.final_global_loss()
+
+    def test_q_clipped_away_from_zero(self, prepared):
+        """Even a degenerate q vector must produce a valid run (the trainer
+        needs q_n > 0 for unbiased aggregation)."""
+        q = np.zeros(prepared.federated.num_clients)
+        history = run_history(prepared, q, seed=0)
+        assert history.total_time > 0
+
+
+class TestSchemeResult:
+    @pytest.fixture()
+    def result(self, prepared):
+        outcome = UniformPricing().apply(prepared.problem)
+        result = SchemeResult(outcome=outcome)
+        for seed in range(2):
+            result.histories.append(run_history(prepared, outcome.q, seed=seed))
+        return result
+
+    def test_mean_final_metrics(self, result):
+        losses = [h.final_global_loss() for h in result.histories]
+        assert result.mean_final_loss() == pytest.approx(np.mean(losses))
+        accuracies = [h.final_test_accuracy() for h in result.histories]
+        assert result.mean_final_accuracy() == pytest.approx(
+            np.mean(accuracies)
+        )
+
+    def test_mean_time_to_unreachable_target_is_inf(self, result):
+        assert math.isinf(result.mean_time_to_loss(0.0))
+        assert math.isinf(result.mean_time_to_accuracy(1.01))
+
+    def test_snapshot_queries(self, result):
+        horizon = min(h.total_time for h in result.histories)
+        loss = result.loss_at_time(0.8 * horizon)
+        accuracy = result.accuracy_at_time(0.8 * horizon)
+        assert np.isfinite(loss)
+        assert 0 <= accuracy <= 1
+
+    def test_curves_grid_shared(self, result):
+        curves = result.curves
+        assert curves["times"][0] == 0.0
+        assert len(curves["times"]) == len(curves["accuracy_mean"])
+
+
+class TestRenderers:
+    def test_time_table_renders(self):
+        rows = [["setup1", 1.0, 2.0, 3.0, 0.5]]
+        text = render_time_table(rows, metric="loss")
+        assert "proposed" in text and "uniform" in text and "setup1" in text
+
+    def test_utility_table_renders(self):
+        text = render_utility_table([["setup1", 10.0, 20.0]])
+        assert "gain vs uniform" in text
+
+    def test_negative_payment_table_renders(self):
+        text = render_negative_payment_table([[0.0, 0, math.inf]])
+        assert "P_n < 0" in text

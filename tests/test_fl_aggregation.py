@@ -1,0 +1,159 @@
+"""Tests for aggregation rules, especially Lemma-1 unbiasedness."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    NaiveInverseAggregator,
+    ParticipantsOnlyAggregator,
+    UnbiasedDeltaAggregator,
+)
+
+
+@pytest.fixture()
+def round_data():
+    rng = np.random.default_rng(0)
+    num_clients, dim = 4, 6
+    global_params = rng.normal(size=dim)
+    local_params = {
+        n: global_params + rng.normal(size=dim) for n in range(num_clients)
+    }
+    sizes = rng.integers(10, 100, size=num_clients).astype(float)
+    weights = sizes / sizes.sum()
+    return global_params, local_params, weights
+
+
+def _exact_expectation(aggregator, global_params, local_params, weights, q):
+    """Exact E[w_agg] by enumerating all participation sets."""
+    num_clients = len(weights)
+    expectation = np.zeros_like(global_params)
+    for mask in itertools.product([0, 1], repeat=num_clients):
+        probability = np.prod(
+            [q[n] if mask[n] else 1 - q[n] for n in range(num_clients)]
+        )
+        participants = {
+            n: local_params[n] for n in range(num_clients) if mask[n]
+        }
+        aggregate = aggregator.aggregate(
+            global_params,
+            participants,
+            weights=weights,
+            inclusion_probabilities=q,
+        )
+        expectation += probability * aggregate
+    return expectation
+
+
+def _full_reference(local_params, weights):
+    return sum(weights[n] * params for n, params in local_params.items())
+
+
+class TestUnbiasedDeltaAggregator:
+    def test_exactly_unbiased_over_all_masks(self, round_data):
+        global_params, local_params, weights = round_data
+        q = np.array([0.3, 0.9, 0.5, 0.7])
+        expectation = _exact_expectation(
+            UnbiasedDeltaAggregator(), global_params, local_params, weights, q
+        )
+        assert np.allclose(expectation, _full_reference(local_params, weights))
+
+    def test_full_participation_recovers_fedavg(self, round_data):
+        global_params, local_params, weights = round_data
+        q = np.ones(4)
+        aggregate = UnbiasedDeltaAggregator().aggregate(
+            global_params,
+            local_params,
+            weights=weights,
+            inclusion_probabilities=q,
+        )
+        assert np.allclose(aggregate, _full_reference(local_params, weights))
+
+    def test_empty_round_keeps_global(self, round_data):
+        global_params, _, weights = round_data
+        aggregate = UnbiasedDeltaAggregator().aggregate(
+            global_params,
+            {},
+            weights=weights,
+            inclusion_probabilities=np.full(4, 0.5),
+        )
+        assert np.array_equal(aggregate, global_params)
+
+    def test_zero_probability_participant_rejected(self, round_data):
+        global_params, local_params, weights = round_data
+        q = np.array([0.0, 0.5, 0.5, 0.5])
+        with pytest.raises(ValueError, match="q_n = 0"):
+            UnbiasedDeltaAggregator().aggregate(
+                global_params,
+                {0: local_params[0]},
+                weights=weights,
+                inclusion_probabilities=q,
+            )
+
+    def test_rare_participant_amplified(self, round_data):
+        """Lower q_n means larger per-appearance influence (1/q_n scaling)."""
+        global_params, local_params, weights = round_data
+        single = {1: local_params[1]}
+        low_q = UnbiasedDeltaAggregator().aggregate(
+            global_params,
+            single,
+            weights=weights,
+            inclusion_probabilities=np.array([0.5, 0.1, 0.5, 0.5]),
+        )
+        high_q = UnbiasedDeltaAggregator().aggregate(
+            global_params,
+            single,
+            weights=weights,
+            inclusion_probabilities=np.array([0.5, 0.9, 0.5, 0.5]),
+        )
+        assert np.linalg.norm(low_q - global_params) > np.linalg.norm(
+            high_q - global_params
+        )
+
+
+class TestBiasedBaselines:
+    def test_participants_only_is_biased_under_skewed_q(self, round_data):
+        global_params, local_params, weights = round_data
+        q = np.array([0.1, 0.9, 0.5, 0.7])
+        expectation = _exact_expectation(
+            ParticipantsOnlyAggregator(),
+            global_params,
+            local_params,
+            weights,
+            q,
+        )
+        assert not np.allclose(
+            expectation, _full_reference(local_params, weights), atol=1e-3
+        )
+
+    def test_naive_inverse_biased_for_nonuniform_q(self, round_data):
+        """The Lemma-1 remark: inverse-weighting *models* is not enough."""
+        global_params, local_params, weights = round_data
+        q = np.array([0.2, 0.8, 0.5, 0.6])
+        expectation = _exact_expectation(
+            NaiveInverseAggregator(), global_params, local_params, weights, q
+        )
+        assert not np.allclose(
+            expectation, _full_reference(local_params, weights), atol=1e-3
+        )
+
+    def test_participants_only_empty_round(self, round_data):
+        global_params, _, weights = round_data
+        aggregate = ParticipantsOnlyAggregator().aggregate(
+            global_params,
+            {},
+            weights=weights,
+            inclusion_probabilities=np.full(4, 0.5),
+        )
+        assert np.array_equal(aggregate, global_params)
+
+    def test_participants_only_full_recovers_fedavg(self, round_data):
+        global_params, local_params, weights = round_data
+        aggregate = ParticipantsOnlyAggregator().aggregate(
+            global_params,
+            local_params,
+            weights=weights,
+            inclusion_probabilities=np.ones(4),
+        )
+        assert np.allclose(aggregate, _full_reference(local_params, weights))

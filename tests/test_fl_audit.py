@@ -1,0 +1,152 @@
+"""Tests for participation auditing (moral-hazard detection)."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    BernoulliParticipation,
+    RoundRecord,
+    TrainingHistory,
+    audit_participation,
+    empirical_participation_counts,
+)
+
+
+def _history_from_masks(masks):
+    history = TrainingHistory()
+    for index, mask in enumerate(masks):
+        history.append(
+            RoundRecord(
+                round_index=index,
+                sim_time=float(index),
+                num_participants=int(np.sum(mask)),
+                step_size=0.1,
+                participants=tuple(int(i) for i in np.flatnonzero(mask)),
+            )
+        )
+    return history
+
+
+def _simulate(promised, actual, rounds, seed=0):
+    model = BernoulliParticipation(actual, rng=seed)
+    return _history_from_masks(
+        [model.sample_round(r) for r in range(rounds)]
+    )
+
+
+class TestEmpiricalCounts:
+    def test_counts_masks(self):
+        masks = [
+            np.array([True, False, True]),
+            np.array([False, False, True]),
+        ]
+        counts = empirical_participation_counts(
+            _history_from_masks(masks), 3
+        )
+        assert counts.tolist() == [1, 0, 2]
+
+    def test_rounds_without_masks_ignored(self):
+        history = TrainingHistory()
+        history.append(RoundRecord(0, 0.0, 0, 0.1))  # no participants field
+        counts = empirical_participation_counts(history, 2)
+        assert counts.tolist() == [0, 0]
+
+
+class TestHonestClientsPass:
+    def test_honest_fleet_all_clear(self):
+        promised = np.array([0.2, 0.5, 0.8, 0.4])
+        history = _simulate(promised, promised, rounds=400, seed=1)
+        report = audit_participation(history, promised)
+        assert report.all_clear
+
+    def test_false_positive_rate_controlled(self):
+        """Across many honest fleets, flags should be rare at z=3."""
+        promised = np.full(5, 0.5)
+        flagged = 0
+        trials = 40
+        for seed in range(trials):
+            history = _simulate(promised, promised, rounds=200, seed=seed)
+            flagged += len(
+                audit_participation(history, promised).suspicious_clients
+            )
+        # 200 client-tests at ~0.3% each: a handful at most.
+        assert flagged <= 3
+
+
+class TestShirkersCaught:
+    def test_underparticipating_client_flagged(self):
+        promised = np.array([0.6, 0.6, 0.6, 0.6])
+        actual = promised.copy()
+        actual[2] = 0.2  # takes the payment, rarely shows up
+        history = _simulate(promised, actual, rounds=300, seed=2)
+        report = audit_participation(history, promised)
+        assert 2 in report.suspicious_clients
+        assert len(report.suspicious_clients) == 1
+
+    def test_overparticipation_also_flagged(self):
+        """Over-showing is flagged too: it breaks unbiasedness symmetrically."""
+        promised = np.array([0.3, 0.3, 0.3])
+        actual = np.array([0.3, 0.9, 0.3])
+        history = _simulate(promised, actual, rounds=300, seed=3)
+        report = audit_participation(history, promised)
+        assert 1 in report.suspicious_clients
+
+    def test_empirical_q_reported(self):
+        promised = np.array([0.5, 0.5])
+        history = _simulate(promised, np.array([0.5, 0.1]), rounds=400, seed=4)
+        report = audit_participation(history, promised)
+        shirker = report.clients[1]
+        assert shirker.empirical_q < 0.25
+
+
+class TestDegeneratePromises:
+    def test_promised_one_must_always_show(self):
+        promised = np.array([1.0, 0.5])
+        masks = [np.array([True, True]), np.array([False, True])]
+        report = audit_participation(_history_from_masks(masks), promised)
+        assert 0 in report.suspicious_clients
+
+    def test_promised_zero_must_never_show(self):
+        promised = np.array([0.0, 0.5])
+        masks = [np.array([True, False])]
+        report = audit_participation(_history_from_masks(masks), promised)
+        assert 0 in report.suspicious_clients
+
+    def test_empty_history_never_flags(self):
+        report = audit_participation(
+            TrainingHistory(), np.array([0.5, 0.5])
+        )
+        assert report.all_clear
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            audit_participation(
+                TrainingHistory(), np.array([0.5]), z_threshold=0.0
+            )
+
+
+class TestTrainerRecordsParticipants:
+    def test_trainer_histories_are_auditable(
+        self, small_federated, small_model
+    ):
+        from repro.fl import FederatedTrainer
+        from repro.utils.rng import RngFactory
+
+        q = np.full(small_federated.num_clients, 0.6)
+        trainer = FederatedTrainer(
+            small_model,
+            small_federated,
+            BernoulliParticipation(q, rng=7),
+            local_steps=2,
+            eval_every=10,
+            rng_factory=RngFactory(8),
+        )
+        history = trainer.run(10)
+        report = audit_participation(history, q)
+        assert report.all_clear  # 10 rounds is far too few to flag honest q
+        counts = empirical_participation_counts(
+            history, small_federated.num_clients
+        )
+        assert counts.sum() == sum(
+            record.num_participants for record in history.records
+        )

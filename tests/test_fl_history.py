@@ -1,0 +1,107 @@
+"""Tests for training history records and time-to-target queries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fl import RoundRecord, TrainingHistory, average_histories
+
+
+def _history(times, losses, accuracies):
+    history = TrainingHistory()
+    for index, (time, loss, accuracy) in enumerate(
+        zip(times, losses, accuracies)
+    ):
+        history.append(
+            RoundRecord(
+                round_index=index,
+                sim_time=time,
+                num_participants=3,
+                step_size=0.1,
+                global_loss=loss,
+                test_loss=loss,
+                test_accuracy=accuracy,
+            )
+        )
+    return history
+
+
+def test_append_requires_increasing_rounds():
+    history = TrainingHistory()
+    history.append(RoundRecord(0, 1.0, 1, 0.1))
+    with pytest.raises(ValueError):
+        history.append(RoundRecord(0, 2.0, 1, 0.1))
+
+
+def test_columns():
+    history = _history([1, 2, 3], [0.9, 0.5, 0.3], [0.2, 0.5, 0.7])
+    assert history.times.tolist() == [1, 2, 3]
+    assert history.global_losses.tolist() == [0.9, 0.5, 0.3]
+    assert len(history) == 3
+
+
+def test_time_to_loss_first_crossing():
+    history = _history([1, 2, 3], [0.9, 0.5, 0.3], [0.2, 0.5, 0.7])
+    assert history.time_to_loss(0.5) == 2.0
+    assert history.time_to_loss(0.95) == 1.0
+
+
+def test_time_to_loss_unreached_is_inf():
+    history = _history([1, 2], [0.9, 0.8], [0.1, 0.2])
+    assert history.time_to_loss(0.1) == math.inf
+
+
+def test_time_to_accuracy():
+    history = _history([1, 2, 3], [0.9, 0.5, 0.3], [0.2, 0.5, 0.7])
+    assert history.time_to_accuracy(0.5) == 2.0
+    assert history.time_to_accuracy(0.99) == math.inf
+
+
+def test_nan_evaluations_skipped():
+    history = TrainingHistory()
+    history.append(RoundRecord(0, 1.0, 1, 0.1, global_loss=0.9))
+    history.append(RoundRecord(1, 2.0, 1, 0.1))  # no evaluation
+    history.append(RoundRecord(2, 3.0, 1, 0.1, global_loss=0.2))
+    assert history.time_to_loss(0.5) == 3.0
+    assert history.final_global_loss() == 0.2
+
+
+def test_final_metrics_raise_without_evaluations():
+    history = TrainingHistory()
+    history.append(RoundRecord(0, 1.0, 1, 0.1))
+    with pytest.raises(ValueError):
+        history.final_global_loss()
+    with pytest.raises(ValueError):
+        history.final_test_accuracy()
+
+
+def test_loss_interpolation_carries_forward():
+    history = _history([1, 2, 4], [0.9, 0.5, 0.3], [0.1, 0.2, 0.3])
+    values = history.loss_at_times([0.5, 1.5, 3.0, 5.0])
+    assert math.isnan(values[0])  # before first evaluation
+    assert values[1] == 0.9
+    assert values[2] == 0.5
+    assert values[3] == 0.3
+
+
+def test_average_histories_shapes():
+    a = _history([1, 2, 3], [0.9, 0.5, 0.3], [0.1, 0.4, 0.7])
+    b = _history([1, 2, 4], [0.8, 0.6, 0.2], [0.2, 0.3, 0.8])
+    averaged = average_histories([a, b], num_points=10)
+    assert averaged["times"].shape == (10,)
+    assert averaged["loss_mean"].shape == (10,)
+    # Grid horizon limited by the shorter run.
+    assert averaged["times"][-1] == 3.0
+
+
+def test_average_histories_mean_correct():
+    a = _history([1, 2], [1.0, 0.4], [0.0, 0.5])
+    b = _history([1, 2], [0.6, 0.2], [0.2, 0.7])
+    averaged = average_histories([a, b], num_points=2)
+    assert averaged["loss_mean"][-1] == pytest.approx(0.3)
+
+
+def test_average_histories_empty_rejected():
+    with pytest.raises(ValueError):
+        average_histories([])

@@ -1,0 +1,105 @@
+"""Tests for the intermittent-availability participation extension."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    IntermittentAvailabilityParticipation,
+    UnbiasedDeltaAggregator,
+)
+
+
+class TestStationaryBehaviour:
+    def test_stationary_availability_formula(self):
+        model = IntermittentAvailabilityParticipation(
+            np.full(4, 0.5), on_to_off=0.2, off_to_on=0.6, rng=0
+        )
+        assert model.stationary_availability == pytest.approx(0.6 / 0.8)
+
+    def test_inclusion_probability_is_product(self):
+        q = np.array([0.2, 0.9])
+        model = IntermittentAvailabilityParticipation(
+            q, on_to_off=0.25, off_to_on=0.25, rng=0
+        )
+        assert np.allclose(model.inclusion_probabilities, 0.5 * q)
+
+    def test_empirical_inclusion_matches(self):
+        q = np.array([0.3, 0.7, 1.0])
+        model = IntermittentAvailabilityParticipation(
+            q, on_to_off=0.3, off_to_on=0.3, rng=1
+        )
+        draws = np.stack([model.sample_round(r) for r in range(8000)])
+        assert np.allclose(
+            draws.mean(axis=0), model.inclusion_probabilities, atol=0.03
+        )
+
+    def test_availability_is_persistent(self):
+        """Low switching rates produce runs of consecutive (un)availability
+        — the temporal correlation that distinguishes this model from plain
+        Bernoulli participation."""
+        model = IntermittentAvailabilityParticipation(
+            np.ones(1), on_to_off=0.02, off_to_on=0.02, rng=2
+        )
+        draws = np.array(
+            [model.sample_round(r)[0] for r in range(4000)], dtype=float
+        )
+        # Lag-1 autocorrelation must be clearly positive.
+        centered = draws - draws.mean()
+        autocorr = float(
+            (centered[:-1] * centered[1:]).mean() / (centered.var() + 1e-12)
+        )
+        assert autocorr > 0.5
+
+
+class TestUnbiasednessCarriesOver:
+    def test_aggregation_unbiased_under_intermittency(self):
+        """Lemma 1 with pi_n = stationary_on * q_n stays unbiased."""
+        rng = np.random.default_rng(3)
+        num_clients, dim = 4, 5
+        global_params = rng.normal(size=dim)
+        local_params = {
+            n: global_params + rng.normal(size=dim)
+            for n in range(num_clients)
+        }
+        sizes = rng.uniform(1, 10, size=num_clients)
+        weights = sizes / sizes.sum()
+        q = np.array([0.4, 0.8, 0.6, 1.0])
+        model = IntermittentAvailabilityParticipation(
+            q, on_to_off=0.3, off_to_on=0.45, rng=4
+        )
+        pi = model.inclusion_probabilities
+        aggregator = UnbiasedDeltaAggregator()
+        total = np.zeros(dim)
+        draws = 20_000
+        for r in range(draws):
+            mask = model.sample_round(r)
+            participants = {
+                n: local_params[n] for n in range(num_clients) if mask[n]
+            }
+            total += aggregator.aggregate(
+                global_params,
+                participants,
+                weights=weights,
+                inclusion_probabilities=pi,
+            )
+        mean_aggregate = total / draws
+        reference = sum(
+            weights[n] * local_params[n] for n in range(num_clients)
+        )
+        assert np.allclose(mean_aggregate, reference, atol=0.02)
+
+
+class TestValidation:
+    def test_invalid_transition_rates(self):
+        with pytest.raises(ValueError):
+            IntermittentAvailabilityParticipation(
+                np.ones(2), on_to_off=0.0, off_to_on=0.5
+            )
+        with pytest.raises(ValueError):
+            IntermittentAvailabilityParticipation(
+                np.ones(2), on_to_off=0.5, off_to_on=1.0
+            )
+
+    def test_invalid_willingness(self):
+        with pytest.raises(ValueError):
+            IntermittentAvailabilityParticipation(np.array([0.5, 1.5]))

@@ -1,0 +1,91 @@
+"""Tests for participation models."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    BernoulliParticipation,
+    FixedSubsetParticipation,
+    FullParticipation,
+    UniformSamplingParticipation,
+)
+
+
+class TestBernoulli:
+    def test_empirical_frequency_matches_q(self):
+        q = np.array([0.1, 0.5, 0.9])
+        model = BernoulliParticipation(q, rng=0)
+        draws = np.stack([model.sample_round(r) for r in range(4000)])
+        assert np.allclose(draws.mean(axis=0), q, atol=0.03)
+
+    def test_independence_across_clients(self):
+        q = np.array([0.5, 0.5])
+        model = BernoulliParticipation(q, rng=1)
+        draws = np.stack([model.sample_round(r) for r in range(4000)])
+        joint = np.mean(draws[:, 0] & draws[:, 1])
+        assert joint == pytest.approx(0.25, abs=0.03)
+
+    def test_sum_of_q_unconstrained(self):
+        # Unlike sampling distributions, sum can exceed 1.
+        model = BernoulliParticipation([0.9, 0.9, 0.9])
+        assert model.expected_participants == pytest.approx(2.7)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliParticipation([0.5, 1.2])
+
+    def test_inclusion_probabilities_copy(self):
+        model = BernoulliParticipation([0.4, 0.6])
+        probs = model.inclusion_probabilities
+        probs[0] = 0.99
+        assert model.inclusion_probabilities[0] == 0.4
+
+
+class TestFullParticipation:
+    def test_everyone_every_round(self):
+        model = FullParticipation(5)
+        assert model.sample_round(0).all()
+        assert np.array_equal(model.inclusion_probabilities, np.ones(5))
+
+
+class TestFixedSubset:
+    def test_only_subset_participates(self):
+        model = FixedSubsetParticipation(6, subset=[1, 4])
+        mask = model.sample_round(0)
+        assert mask.tolist() == [False, True, False, False, True, False]
+
+    def test_inclusion_probabilities_are_indicator(self):
+        model = FixedSubsetParticipation(4, subset=[0])
+        assert model.inclusion_probabilities.tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_out_of_range_subset_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSubsetParticipation(3, subset=[5])
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSubsetParticipation(3, subset=[])
+
+    def test_duplicates_deduplicated(self):
+        model = FixedSubsetParticipation(4, subset=[2, 2, 2])
+        assert model.sample_round(0).sum() == 1
+
+
+class TestUniformSampling:
+    def test_cohort_size_exact(self):
+        model = UniformSamplingParticipation(10, cohort_size=3, rng=0)
+        for r in range(50):
+            assert model.sample_round(r).sum() == 3
+
+    def test_inclusion_probability_k_over_n(self):
+        model = UniformSamplingParticipation(10, cohort_size=3, rng=0)
+        assert np.allclose(model.inclusion_probabilities, 0.3)
+
+    def test_empirical_inclusion_uniform(self):
+        model = UniformSamplingParticipation(8, cohort_size=2, rng=1)
+        draws = np.stack([model.sample_round(r) for r in range(4000)])
+        assert np.allclose(draws.mean(axis=0), 0.25, atol=0.03)
+
+    def test_invalid_cohort_rejected(self):
+        with pytest.raises(ValueError):
+            UniformSamplingParticipation(5, cohort_size=6)

@@ -1,0 +1,144 @@
+"""Tests for Stage-II best responses (Eq. 13) and inverse pricing (Eq. 17)."""
+
+import numpy as np
+import pytest
+
+from repro.game import (
+    best_response,
+    best_response_vector,
+    inverse_price,
+    surrogate_utility,
+)
+
+
+def _brute_force_best(price, cost, value_contribution, q_max):
+    grid = np.linspace(1e-6, q_max, 40_000)
+    utility = price * grid - cost * grid**2
+    if value_contribution > 0:
+        utility = utility - value_contribution / grid
+    best = grid[np.argmax(utility)]
+    # q = 0 competes only when vA = 0 (utility -> -inf otherwise).
+    if value_contribution == 0 and 0.0 >= utility.max():
+        return 0.0
+    return best
+
+
+class TestBestResponse:
+    def test_no_value_positive_price(self):
+        # Linear-quadratic case: q* = P / (2c).
+        assert best_response(10.0, 5.0, 0.0, 1.0) == pytest.approx(1.0)
+        assert best_response(4.0, 5.0, 0.0, 1.0) == pytest.approx(0.4)
+
+    def test_no_value_nonpositive_price_opts_out(self):
+        assert best_response(0.0, 5.0, 0.0, 1.0) == 0.0
+        assert best_response(-3.0, 5.0, 0.0, 1.0) == 0.0
+
+    def test_with_value_participates_without_payment(self):
+        q = best_response(0.0, 5.0, 2.0, 1.0)
+        # FOC: vA/q^2 = 2cq -> q = (vA/2c)^(1/3)
+        assert q == pytest.approx((2.0 / 10.0) ** (1 / 3))
+
+    def test_with_value_accepts_negative_price(self):
+        q = best_response(-5.0, 5.0, 2.0, 1.0)
+        assert 0 < q < 1
+
+    def test_cap_binds_for_generous_price(self):
+        assert best_response(1e6, 1.0, 0.5, 0.8) == pytest.approx(0.8)
+
+    @pytest.mark.parametrize(
+        "price,cost,va,qmax",
+        [
+            (3.0, 10.0, 1.0, 1.0),
+            (-2.0, 8.0, 4.0, 1.0),
+            (0.5, 20.0, 0.1, 0.6),
+            (50.0, 5.0, 10.0, 1.0),
+            (0.0, 1.0, 0.01, 1.0),
+        ],
+    )
+    def test_matches_brute_force(self, price, cost, va, qmax):
+        analytic = best_response(price, cost, va, qmax)
+        brute = _brute_force_best(price, cost, va, qmax)
+        assert analytic == pytest.approx(brute, abs=2e-4)
+
+    def test_monotone_increasing_in_price(self):
+        prices = np.linspace(-10, 30, 30)
+        responses = [best_response(p, 8.0, 2.0, 1.0) for p in prices]
+        assert all(a <= b + 1e-12 for a, b in zip(responses, responses[1:]))
+
+    def test_monotone_decreasing_in_cost(self):
+        costs = [2.0, 5.0, 10.0, 50.0]
+        responses = [best_response(5.0, c, 1.0, 1.0) for c in costs]
+        assert all(a >= b for a, b in zip(responses, responses[1:]))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            best_response(1.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            best_response(1.0, 1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            best_response(1.0, 1.0, 1.0, 1.5)
+
+
+class TestInversePrice:
+    def test_roundtrip_price_to_q_to_price(self, small_population):
+        contributions = np.full(8, 0.5)
+        q = np.random.default_rng(0).uniform(0.05, 0.95, size=8)
+        prices = inverse_price(q, small_population, contributions)
+        recovered = best_response_vector(
+            prices, small_population, contributions
+        )
+        assert np.allclose(recovered, q, atol=1e-8)
+
+    def test_formula(self):
+        from repro.game import ClientPopulation
+
+        population = ClientPopulation(
+            weights=np.array([1.0]),
+            gradient_bounds=np.array([2.0]),
+            costs=np.array([3.0]),
+            values=np.array([4.0]),
+            q_max=np.array([1.0]),
+        )
+        price = inverse_price([0.5], population, [0.25])
+        # 2*3*0.5 - 4*0.25/0.25 = 3 - 4 = -1
+        assert price[0] == pytest.approx(-1.0)
+
+    def test_zero_q_rejected(self, small_population):
+        with pytest.raises(ValueError):
+            inverse_price(np.zeros(8), small_population, np.full(8, 0.1))
+
+
+class TestBestResponseVector:
+    def test_shape_checked(self, small_population):
+        with pytest.raises(ValueError):
+            best_response_vector(np.zeros(3), small_population, np.zeros(8))
+
+    def test_each_entry_is_scalar_best(self, small_population):
+        contributions = np.full(8, 0.2)
+        prices = np.linspace(-5, 30, 8)
+        vector = best_response_vector(prices, small_population, contributions)
+        for n in range(8):
+            scalar = best_response(
+                prices[n],
+                small_population.costs[n],
+                small_population.values[n] * contributions[n],
+                small_population.q_max[n],
+            )
+            assert vector[n] == pytest.approx(scalar)
+
+
+class TestSurrogateUtility:
+    def test_best_response_maximizes_surrogate(self, small_population):
+        contributions = np.full(8, 0.3)
+        prices = np.full(8, 12.0)
+        q_star = best_response_vector(prices, small_population, contributions)
+        base = surrogate_utility(q_star, prices, small_population, contributions)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            perturbed = np.clip(
+                q_star + rng.normal(0, 0.05, size=8), 1e-6, 1.0
+            )
+            other = surrogate_utility(
+                perturbed, prices, small_population, contributions
+            )
+            assert np.all(other <= base + 1e-9)

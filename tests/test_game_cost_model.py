@@ -1,0 +1,117 @@
+"""Tests for the decoupled computation/communication cost model."""
+
+import numpy as np
+import pytest
+
+from repro.game import (
+    ClientPopulation,
+    ServerProblem,
+    cost_parameters_from_testbed,
+    decoupled_costs,
+    solve_cpl_game,
+)
+from repro.simulation import (
+    DeviceProfile,
+    SharedMediumNetwork,
+    TestbedRuntime,
+    build_testbed,
+)
+
+
+@pytest.fixture()
+def runtime():
+    return build_testbed(
+        num_clients=6, num_params=650, local_steps=20, batch_size=24, rng=0
+    )
+
+
+class TestDecoupledCosts:
+    def test_one_entry_per_device(self, runtime):
+        costs = decoupled_costs(runtime)
+        assert len(costs) == 6
+        assert [cost.client_id for cost in costs] == list(range(6))
+
+    def test_components_positive(self, runtime):
+        for cost in decoupled_costs(runtime):
+            assert cost.computation > 0
+            assert cost.communication > 0
+            assert cost.total == pytest.approx(
+                cost.computation + cost.communication
+            )
+
+    def test_communication_share_in_unit_interval(self, runtime):
+        for cost in decoupled_costs(runtime):
+            assert 0 < cost.communication_share < 1
+
+    def test_slower_device_higher_compute_cost(self):
+        fast = DeviceProfile(0, 4e8, 1e-4, 30e6, 60e6)
+        slow = DeviceProfile(1, 1e8, 1e-4, 30e6, 60e6)
+        runtime = TestbedRuntime(
+            devices=[fast, slow],
+            network=SharedMediumNetwork(),
+            num_params=650,
+            local_steps=20,
+            batch_size=24,
+        )
+        costs = decoupled_costs(runtime)
+        assert costs[1].computation > costs[0].computation
+
+    def test_energy_price_scales_linearly(self, runtime):
+        cheap = decoupled_costs(runtime, energy_price=1.0)
+        expensive = decoupled_costs(runtime, energy_price=3.0)
+        assert expensive[0].total == pytest.approx(3 * cheap[0].total)
+
+    def test_radio_power_affects_only_communication(self, runtime):
+        base = decoupled_costs(runtime, radio_watts=1.0)
+        loud = decoupled_costs(runtime, radio_watts=2.0)
+        assert loud[0].communication == pytest.approx(
+            2 * base[0].communication
+        )
+        assert loud[0].computation == pytest.approx(base[0].computation)
+
+
+class TestCostParametersFromTestbed:
+    def test_shape_and_positivity(self, runtime):
+        params = cost_parameters_from_testbed(runtime, num_rounds=100)
+        assert params.shape == (6,)
+        assert np.all(params > 0)
+
+    def test_scales_with_horizon(self, runtime):
+        short = cost_parameters_from_testbed(runtime, num_rounds=50)
+        long = cost_parameters_from_testbed(runtime, num_rounds=200)
+        assert np.allclose(long, 4 * short)
+
+    def test_markup_applied(self, runtime):
+        base = cost_parameters_from_testbed(runtime, num_rounds=100)
+        marked = cost_parameters_from_testbed(
+            runtime, num_rounds=100, opportunity_markup=2.5
+        )
+        assert np.allclose(marked, 2.5 * base)
+
+    def test_invalid_rounds_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            cost_parameters_from_testbed(runtime, num_rounds=0)
+
+    def test_usable_in_cpl_game(self, runtime):
+        """The derived costs plug straight into the game and solve."""
+        rng = np.random.default_rng(0)
+        costs = cost_parameters_from_testbed(
+            runtime, num_rounds=100, energy_price=50.0
+        )
+        sizes = rng.uniform(1, 10, size=6)
+        population = ClientPopulation(
+            weights=sizes / sizes.sum(),
+            gradient_bounds=rng.uniform(1, 4, size=6),
+            costs=costs,
+            values=rng.exponential(5.0, size=6),
+            q_max=np.ones(6),
+        )
+        problem = ServerProblem(
+            population=population,
+            alpha=1_000.0,
+            num_rounds=100,
+            budget=float(costs.sum() / 10),
+        )
+        equilibrium = solve_cpl_game(problem)
+        assert equilibrium.spending <= problem.budget * (1 + 1e-6)
+        assert np.all(equilibrium.q > 0)

@@ -1,0 +1,146 @@
+"""Tests for Stage-I solvers: KKT bisection vs the paper's M-search."""
+
+import numpy as np
+import pytest
+
+from repro.game import (
+    ServerProblem,
+    solve_stage1_kkt,
+    solve_stage1_msearch,
+)
+
+
+class TestServerProblemBasics:
+    def test_contributions_formula(self, small_problem):
+        population = small_problem.population
+        expected = (
+            small_problem.alpha
+            * population.weights**2
+            * population.gradient_bounds**2
+            / small_problem.num_rounds
+        )
+        assert np.allclose(small_problem.contributions, expected)
+
+    def test_spending_matches_price_times_q(self, small_problem):
+        q = np.random.default_rng(0).uniform(0.1, 0.9, size=8)
+        prices = small_problem.prices_for(q)
+        assert small_problem.spending(q) == pytest.approx(
+            float(np.sum(prices * q))
+        )
+
+    def test_objective_gap_decreases_in_q(self, small_problem):
+        low = small_problem.objective_gap(np.full(8, 0.3))
+        high = small_problem.objective_gap(np.full(8, 0.9))
+        assert low > high
+
+    def test_local_gaps_length_checked(self, small_population):
+        with pytest.raises(ValueError):
+            ServerProblem(
+                population=small_population,
+                alpha=10.0,
+                num_rounds=10,
+                budget=5.0,
+                local_gaps=np.zeros(3),
+            )
+
+
+class TestKktSolver:
+    def test_budget_tight(self, small_problem):
+        result = solve_stage1_kkt(small_problem)
+        assert result.budget_tight
+        assert result.spending == pytest.approx(small_problem.budget, rel=1e-5)
+
+    def test_q_in_bounds(self, small_problem):
+        result = solve_stage1_kkt(small_problem)
+        assert np.all(result.q > 0)
+        assert np.all(result.q <= small_problem.population.q_max + 1e-12)
+
+    def test_lambda_positive_when_tight(self, small_problem):
+        result = solve_stage1_kkt(small_problem)
+        assert 0 < result.lambda_star < np.inf
+
+    def test_budget_slack_returns_caps(self, small_population):
+        # Enormous budget: everyone participates fully, constraint slack.
+        problem = ServerProblem(
+            population=small_population,
+            alpha=5_000.0,
+            num_rounds=200,
+            budget=1e9,
+        )
+        result = solve_stage1_kkt(problem)
+        assert not result.budget_tight
+        assert np.allclose(result.q, small_population.q_max)
+        assert result.lambda_star == 0.0
+
+    def test_prices_consistent_with_eq17(self, small_problem):
+        result = solve_stage1_kkt(small_problem)
+        assert np.allclose(
+            result.prices, small_problem.prices_for(result.q)
+        )
+
+    def test_larger_budget_lower_gap(self, small_population):
+        gaps = []
+        for budget in (10.0, 30.0, 100.0):
+            problem = ServerProblem(
+                population=small_population,
+                alpha=5_000.0,
+                num_rounds=200,
+                budget=budget,
+            )
+            gaps.append(solve_stage1_kkt(problem).objective_gap)
+        assert gaps[0] > gaps[1] > gaps[2]
+
+    def test_zero_values_population(self, small_population):
+        """With v = 0 everywhere the game is pure payment-for-service."""
+        population = small_population.with_values(np.zeros(8))
+        problem = ServerProblem(
+            population=population, alpha=5_000.0, num_rounds=200, budget=30.0
+        )
+        result = solve_stage1_kkt(problem)
+        assert result.budget_tight
+        assert np.all(result.prices >= 0)  # no one pays the server
+        assert result.spending == pytest.approx(30.0, rel=1e-5)
+
+    def test_kkt_stationarity_at_interior_solution(self, small_problem):
+        """Eq. 22 must hold for interior clients."""
+        result = solve_stage1_kkt(small_problem)
+        population = small_problem.population
+        interior = (result.q > 1e-6) & (result.q < population.q_max - 1e-6)
+        assert interior.any()
+        t_values = (
+            4.0
+            * population.costs[interior]
+            * result.q[interior] ** 3
+            / small_problem.contributions[interior]
+            + population.values[interior]
+        )
+        assert np.allclose(t_values, 1.0 / result.lambda_star, rtol=1e-6)
+
+
+class TestMSearchSolver:
+    def test_agrees_with_kkt_on_objective(self, small_problem):
+        kkt = solve_stage1_kkt(small_problem)
+        msearch = solve_stage1_msearch(small_problem, grid_size=20, refinements=2)
+        assert msearch.objective_gap == pytest.approx(
+            kkt.objective_gap, rel=0.02
+        )
+
+    def test_agrees_with_kkt_on_q(self, small_problem):
+        kkt = solve_stage1_kkt(small_problem)
+        msearch = solve_stage1_msearch(small_problem, grid_size=20, refinements=2)
+        assert np.allclose(msearch.q, kkt.q, atol=0.05)
+
+    def test_respects_budget(self, small_problem):
+        result = solve_stage1_msearch(small_problem)
+        assert result.spending <= small_problem.budget * (1 + 1e-4)
+
+    def test_zero_value_agreement(self, small_population):
+        population = small_population.with_values(np.zeros(8))
+        problem = ServerProblem(
+            population=population, alpha=5_000.0, num_rounds=200, budget=25.0
+        )
+        kkt = solve_stage1_kkt(problem)
+        msearch = solve_stage1_msearch(problem, grid_size=20, refinements=2)
+        assert msearch.objective_gap == pytest.approx(
+            kkt.objective_gap, rel=0.02
+        )

@@ -1,0 +1,139 @@
+"""End-to-end story tests: the paper's narrative as executable claims.
+
+These integrate every layer (data, game, FL, simulation, theory) and check
+the qualitative results the paper is built on:
+
+1. the mechanism's participation vector trains an unbiased model;
+2. the deterministic-subset alternative converges to a biased one;
+3. higher budgets buy measurably better models;
+4. equilibrium economics respond to intrinsic value the way Theorems 2-3
+   predict.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_federated
+from repro.experiments import SCALES, SETUP1, apply_scale, prepare_setup
+from repro.experiments.runner import run_history
+from repro.fl import (
+    BernoulliParticipation,
+    FederatedTrainer,
+    FixedSubsetParticipation,
+    ParticipantsOnlyAggregator,
+)
+from repro.game import OptimalPricing, solve_cpl_game
+from repro.models import (
+    ExponentialDecaySchedule,
+    MultinomialLogisticRegression,
+    minimize_loss,
+)
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    scale = SCALES["ci"]
+    config = apply_scale(SETUP1, scale)
+    return prepare_setup(config, scale=scale, seed=1)
+
+
+class TestMechanismTrainsUnbiasedModel:
+    def test_equilibrium_training_approaches_f_star(self, prepared):
+        outcome = OptimalPricing().apply(prepared.problem)
+        history = run_history(prepared, outcome.q, seed=0)
+        gap = history.final_global_loss() - prepared.optima.f_star
+        # CI scale trains briefly; the gap must still be a small fraction of
+        # the untrained gap.
+        initial_gap = (
+            history.global_losses[~np.isnan(history.global_losses)][0]
+            - prepared.optima.f_star
+        )
+        assert gap < 0.5 * initial_gap
+
+    def test_all_clients_participate_with_positive_probability(
+        self, prepared
+    ):
+        outcome = OptimalPricing().apply(prepared.problem)
+        assert np.all(outcome.q > 0)
+
+
+class TestBudgetBuysPerformance:
+    def test_richer_server_trains_better(self, prepared):
+        lean = prepared.with_budget(prepared.problem.budget * 0.2)
+        rich = prepared.with_budget(prepared.problem.budget * 5.0)
+        lean_q = OptimalPricing().apply(lean.problem).q
+        rich_q = OptimalPricing().apply(rich.problem).q
+        assert rich_q.mean() > lean_q.mean()
+        # The surrogate agrees with Proposition 1 deterministically.
+        assert rich.problem.objective_gap(rich_q) < lean.problem.objective_gap(
+            lean_q
+        )
+
+
+class TestIntrinsicValueEconomics:
+    def test_value_shifts_payments_toward_server(self, prepared):
+        poor = prepared.with_mean_value(0.0)
+        rich = prepared.with_mean_value(50_000.0)
+        eq_poor = solve_cpl_game(poor.problem)
+        eq_rich = solve_cpl_game(rich.problem)
+        # Without intrinsic value nobody pays the server.
+        assert eq_poor.negative_payment_clients.size == 0
+        # With high values, some clients do.
+        assert eq_rich.negative_payment_clients.size > 0
+        # And the server's bound improves: value-holders participate more
+        # per unit of budget.
+        assert eq_rich.objective_gap <= eq_poor.objective_gap + 1e-12
+
+    def test_server_collects_from_high_value_clients(self, prepared):
+        rich = prepared.with_mean_value(50_000.0)
+        equilibrium = solve_cpl_game(rich.problem)
+        payments = equilibrium.payments
+        negatives = equilibrium.negative_payment_clients
+        if negatives.size:
+            assert payments[negatives].sum() < 0
+
+
+class TestBiasStory:
+    """The paper's core contrast, end to end on a fresh federation."""
+
+    def test_randomized_unbiased_beats_fixed_subset(self):
+        federated = synthetic_federated(
+            num_clients=6,
+            total_samples=900,
+            dim=10,
+            num_classes=3,
+            alpha=1.5,
+            beta=1.5,
+            rng=3,
+        )
+        model = MultinomialLogisticRegression(10, 3, l2=0.02)
+        pooled = federated.pooled_train()
+        w_star = minimize_loss(model, pooled.features, pooled.labels)
+        f_star = model.loss(w_star, pooled.features, pooled.labels)
+
+        def run(participation, aggregator):
+            trainer = FederatedTrainer(
+                model,
+                federated,
+                participation,
+                aggregator=aggregator,
+                schedule=ExponentialDecaySchedule(initial=0.15, decay=0.97),
+                local_steps=8,
+                batch_size=24,
+                eval_every=40,
+                rng_factory=RngFactory(4),
+            )
+            return trainer.run(80).final_global_loss() - f_star
+
+        # Randomized unbiased participation at q = 0.45 for everyone.
+        unbiased_gap = run(
+            BernoulliParticipation(np.full(6, 0.45), rng=5), None
+        )
+        # Deterministic subset: the two largest clients only.
+        subset = np.argsort(-federated.sizes)[:2].tolist()
+        biased_gap = run(
+            FixedSubsetParticipation(6, subset=subset),
+            ParticipantsOnlyAggregator(),
+        )
+        assert unbiased_gap < biased_gap

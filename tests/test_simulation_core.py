@@ -1,0 +1,142 @@
+"""Tests for the simulated clock, event queue, and device profiles."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    DeviceProfile,
+    EventQueue,
+    SimulatedClock,
+    raspberry_pi_fleet,
+)
+
+
+class TestSimulatedClock:
+    def test_advance(self):
+        clock = SimulatedClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+    def test_wait_until_no_backwards(self):
+        clock = SimulatedClock(start=5.0)
+        clock.wait_until(3.0)
+        assert clock.now == 5.0
+        clock.wait_until(7.0)
+        assert clock.now == 7.0
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.advance(4.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda q: fired.append("b"))
+        queue.schedule(1.0, lambda q: fired.append("a"))
+        queue.schedule(3.0, lambda q: fired.append("c"))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        queue = EventQueue()
+        fired = []
+        for name in "xyz":
+            queue.schedule(1.0, lambda q, n=name: fired.append(n))
+        queue.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_clock_advances_with_events(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(2.5, lambda q: seen.append(q.now))
+        queue.run()
+        assert seen == [2.5]
+        assert queue.now == 2.5
+
+    def test_events_can_schedule_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def first(q):
+            fired.append(("first", q.now))
+            q.schedule(1.0, lambda q2: fired.append(("second", q2.now)))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_run_until_stops_early(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda q: fired.append(1))
+        queue.schedule(10.0, lambda q: fired.append(2))
+        queue.run(until=5.0)
+        assert fired == [1]
+        assert queue.now == 5.0
+        assert queue.pending == 1
+
+    def test_cascade_guard(self):
+        queue = EventQueue()
+
+        def loop(q):
+            q.schedule(0.1, loop)
+
+        queue.schedule(0.1, loop)
+        with pytest.raises(RuntimeError, match="cascade"):
+            queue.run(max_events=100)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda q: None)
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda q: None)
+        queue.run()
+        assert queue.processed == 1
+
+
+class TestDeviceProfiles:
+    def test_step_time_scales_with_batch_and_params(self):
+        device = DeviceProfile(0, 1e8, 1e-4, 30e6, 60e6)
+        small = device.sgd_step_time(batch_size=8, num_params=100)
+        large = device.sgd_step_time(batch_size=64, num_params=100)
+        assert large > small
+
+    def test_local_update_time_linear_in_steps(self):
+        device = DeviceProfile(0, 1e8, 1e-4, 30e6, 60e6)
+        t10 = device.local_update_time(10, 24, 500)
+        t20 = device.local_update_time(20, 24, 500)
+        assert t20 == pytest.approx(2 * t10)
+
+    def test_fleet_size_and_ids(self):
+        fleet = raspberry_pi_fleet(10, rng=0)
+        assert len(fleet) == 10
+        assert [device.device_id for device in fleet] == list(range(10))
+
+    def test_fleet_heterogeneous(self):
+        fleet = raspberry_pi_fleet(20, heterogeneity=0.4, rng=1)
+        rates = np.array([device.macs_per_second for device in fleet])
+        assert rates.std() / rates.mean() > 0.1
+
+    def test_zero_heterogeneity_identical(self):
+        fleet = raspberry_pi_fleet(5, heterogeneity=0.0, rng=2)
+        rates = {device.macs_per_second for device in fleet}
+        assert len(rates) == 1
+
+    def test_fleet_deterministic(self):
+        a = raspberry_pi_fleet(5, rng=3)
+        b = raspberry_pi_fleet(5, rng=3)
+        assert a[0].macs_per_second == b[0].macs_per_second
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(0, -1e8, 1e-4, 30e6, 60e6)

@@ -1,0 +1,140 @@
+"""Tests for the shared-medium network model and round timing."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    SharedMediumNetwork,
+    TestbedRuntime,
+    build_testbed,
+    raspberry_pi_fleet,
+    simulate_shared_uploads,
+)
+
+
+class TestSharedMedium:
+    def test_solo_transfer_capped_by_link(self):
+        network = SharedMediumNetwork(capacity_bps=100e6, connection_overhead=0.0)
+        assert simulate_shared_uploads(
+            [0.0], [10e6], [10e6], network
+        )[0] == pytest.approx(1.0)
+
+    def test_solo_transfer_capped_by_capacity(self):
+        network = SharedMediumNetwork(capacity_bps=5e6, connection_overhead=0.0)
+        assert simulate_shared_uploads(
+            [0.0], [10e6], [100e6], network
+        )[0] == pytest.approx(2.0)
+
+    def test_two_equal_flows_share_capacity(self):
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.0)
+        done = simulate_shared_uploads(
+            [0.0, 0.0], [10e6, 10e6], [100e6, 100e6], network
+        )
+        # Each flow gets 5 Mbps -> both finish at 2 s.
+        assert np.allclose(done, [2.0, 2.0])
+
+    def test_contention_slower_than_solo(self):
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.0)
+        solo = simulate_shared_uploads([0.0], [10e6], [100e6], network)[0]
+        shared = simulate_shared_uploads(
+            [0.0, 0.0], [10e6, 10e6], [100e6, 100e6], network
+        )[0]
+        assert shared > solo
+
+    def test_staggered_arrivals(self):
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.0)
+        done = simulate_shared_uploads(
+            [0.0, 1.0], [10e6, 10e6], [100e6, 100e6], network
+        )
+        # First flow transmits alone for 1 s (10 Mb sent... at 10 Mbps,
+        # 10 Mb done would be t=1.0 exactly when the second arrives).
+        assert done[0] == pytest.approx(1.0, abs=1e-6)
+        assert done[1] == pytest.approx(2.0, abs=1e-6)
+
+    def test_link_cap_leaves_capacity_to_others(self):
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.0)
+        done = simulate_shared_uploads(
+            [0.0, 0.0], [10e6, 10e6], [2e6, 100e6], network
+        )
+        # Flow 0 is link-capped at 2 Mbps; flow 1 gets the remaining 8 Mbps.
+        assert done[0] == pytest.approx(5.0, abs=1e-6)
+        assert done[1] < 5.0
+
+    def test_connection_overhead_added(self):
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.5)
+        done = simulate_shared_uploads([0.0], [10e6], [100e6], network)
+        assert done[0] == pytest.approx(1.5)
+
+    def test_empty_flow_list(self):
+        network = SharedMediumNetwork()
+        assert simulate_shared_uploads([], [], [], network).size == 0
+
+    def test_conservation_of_work(self):
+        """Total bits / capacity lower-bounds the makespan."""
+        network = SharedMediumNetwork(capacity_bps=10e6, connection_overhead=0.0)
+        rng = np.random.default_rng(0)
+        payloads = rng.uniform(1e6, 20e6, size=8)
+        done = simulate_shared_uploads(
+            np.zeros(8), payloads, np.full(8, 100e6), network
+        )
+        assert done.max() >= payloads.sum() / 10e6 - 1e-6
+
+
+class TestTestbedRuntime:
+    @pytest.fixture()
+    def runtime(self):
+        return build_testbed(
+            num_clients=8, num_params=650, local_steps=20, batch_size=24, rng=0
+        )
+
+    def test_empty_round_costs_overhead_only(self, runtime):
+        duration = runtime.round_duration(np.zeros(8, dtype=bool))
+        assert duration == pytest.approx(runtime.server_overhead)
+
+    def test_more_participants_never_faster(self, runtime):
+        few = np.zeros(8, dtype=bool)
+        few[0] = True
+        many = np.ones(8, dtype=bool)
+        assert runtime.round_duration(many) >= runtime.round_duration(few)
+
+    def test_slowest_participant_dominates(self, runtime):
+        durations = []
+        for index in range(8):
+            mask = np.zeros(8, dtype=bool)
+            mask[index] = True
+            durations.append(runtime.round_duration(mask))
+        everyone = runtime.round_duration(np.ones(8, dtype=bool))
+        assert everyone >= max(durations)
+
+    def test_round_timer_adapter(self, runtime):
+        timer = runtime.round_timer()
+        mask = np.ones(8, dtype=bool)
+        assert timer(mask, 0) == pytest.approx(runtime.round_duration(mask))
+
+    def test_duration_scales_with_local_steps(self):
+        slow = TestbedRuntime(
+            devices=raspberry_pi_fleet(4, rng=1),
+            network=SharedMediumNetwork(),
+            num_params=650,
+            local_steps=100,
+            batch_size=24,
+        )
+        fast = TestbedRuntime(
+            devices=raspberry_pi_fleet(4, rng=1),
+            network=SharedMediumNetwork(),
+            num_params=650,
+            local_steps=10,
+            batch_size=24,
+        )
+        mask = np.ones(4, dtype=bool)
+        assert slow.round_duration(mask) > fast.round_duration(mask)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TestbedRuntime(
+                devices=[],
+                network=SharedMediumNetwork(),
+                num_params=10,
+                local_steps=1,
+                batch_size=1,
+            )

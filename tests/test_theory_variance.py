@@ -1,0 +1,122 @@
+"""Tests for the Lemma-2 variance bound and empirical validation."""
+
+import numpy as np
+import pytest
+
+from repro.fl import ParticipantsOnlyAggregator, UnbiasedDeltaAggregator
+from repro.theory import (
+    empirical_aggregation_moments,
+    full_participation_aggregate,
+    lemma2_variance_bound,
+)
+
+
+@pytest.fixture()
+def round_setup():
+    rng = np.random.default_rng(1)
+    num_clients, dim = 5, 8
+    global_params = rng.normal(size=dim)
+    step, local_steps = 0.05, 4
+    # Local params within eta*E*G of the global model so Lemma 2's G-based
+    # bound applies with G = max delta / (eta E).
+    local_params = {}
+    deltas = {}
+    for n in range(num_clients):
+        delta = rng.normal(size=dim) * 0.1
+        local_params[n] = global_params + delta
+        deltas[n] = delta
+    sizes = rng.integers(20, 80, size=num_clients).astype(float)
+    weights = sizes / sizes.sum()
+    gradient_bounds = np.array(
+        [
+            np.linalg.norm(deltas[n]) / (step * local_steps)
+            for n in range(num_clients)
+        ]
+    )
+    return global_params, local_params, weights, gradient_bounds, step, local_steps
+
+
+class TestLemma2Formula:
+    def test_zero_at_full_participation(self):
+        value = lemma2_variance_bound(
+            [0.5, 0.5], [1.0, 1.0], [1.0, 1.0], step_size=0.1, local_steps=5
+        )
+        assert value == pytest.approx(0.0)
+
+    def test_decreasing_in_q(self):
+        values = [
+            lemma2_variance_bound(
+                [0.5, 0.5], [2.0, 1.0], [q, q], step_size=0.1, local_steps=5
+            )
+            for q in (0.2, 0.5, 0.9)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_scales_with_step_and_steps(self):
+        base = lemma2_variance_bound(
+            [1.0], [1.0], [0.5], step_size=0.1, local_steps=2
+        )
+        double_step = lemma2_variance_bound(
+            [1.0], [1.0], [0.5], step_size=0.2, local_steps=2
+        )
+        assert double_step == pytest.approx(4 * base)
+
+
+class TestEmpiricalMoments:
+    def test_unbiased_aggregator_has_negligible_bias(self, round_setup):
+        global_params, local_params, weights, _, _, _ = round_setup
+        q = np.array([0.3, 0.7, 0.5, 0.9, 0.4])
+        moments = empirical_aggregation_moments(
+            global_params, local_params, weights, q, num_draws=4000, rng=0
+        )
+        assert moments["bias_sq"] < 1e-5
+
+    def test_biased_aggregator_has_real_bias(self, round_setup):
+        global_params, local_params, weights, _, _, _ = round_setup
+        q = np.array([0.1, 0.9, 0.5, 0.9, 0.4])
+        moments = empirical_aggregation_moments(
+            global_params,
+            local_params,
+            weights,
+            q,
+            num_draws=4000,
+            aggregator=ParticipantsOnlyAggregator(),
+            rng=1,
+        )
+        assert moments["bias_sq"] > 1e-4
+
+    def test_variance_within_lemma2_bound(self, round_setup):
+        (
+            global_params,
+            local_params,
+            weights,
+            gradient_bounds,
+            step,
+            local_steps,
+        ) = round_setup
+        q = np.array([0.4, 0.6, 0.5, 0.8, 0.3])
+        moments = empirical_aggregation_moments(
+            global_params, local_params, weights, q, num_draws=3000, rng=2
+        )
+        bound = lemma2_variance_bound(
+            weights, gradient_bounds, q, step_size=step, local_steps=local_steps
+        )
+        assert moments["mean_sq_error"] <= bound
+
+    def test_variance_shrinks_as_q_grows(self, round_setup):
+        global_params, local_params, weights, _, _, _ = round_setup
+        low = empirical_aggregation_moments(
+            global_params, local_params, weights, np.full(5, 0.3),
+            num_draws=2000, rng=3,
+        )
+        high = empirical_aggregation_moments(
+            global_params, local_params, weights, np.full(5, 0.9),
+            num_draws=2000, rng=3,
+        )
+        assert high["mean_sq_error"] < low["mean_sq_error"]
+
+    def test_full_participation_reference_requires_all(self, round_setup):
+        global_params, local_params, weights, _, _, _ = round_setup
+        partial = {0: local_params[0]}
+        with pytest.raises(ValueError, match="every client"):
+            full_participation_aggregate(global_params, partial, weights)

@@ -1,0 +1,69 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, spawn_rng
+
+
+def test_same_seed_same_stream():
+    a = spawn_rng(42, "x")
+    b = spawn_rng(42, "x")
+    assert a.random() == b.random()
+
+
+def test_different_labels_different_streams():
+    a = spawn_rng(42, "x")
+    b = spawn_rng(42, "y")
+    draws_a = a.random(8)
+    draws_b = b.random(8)
+    assert not np.allclose(draws_a, draws_b)
+
+
+def test_different_seeds_different_streams():
+    assert spawn_rng(1, "x").random() != spawn_rng(2, "x").random()
+
+
+def test_nested_labels_are_independent():
+    a = spawn_rng(0, "client", "1")
+    b = spawn_rng(0, "client", "2")
+    assert a.random() != b.random()
+
+
+def test_generator_passthrough_without_labels():
+    generator = np.random.default_rng(5)
+    assert spawn_rng(generator) is generator
+
+
+def test_generator_with_labels_derives_child():
+    generator = np.random.default_rng(5)
+    child = spawn_rng(generator, "sub")
+    assert child is not generator
+
+
+def test_factory_same_label_reproducible():
+    factory = RngFactory(seed=7)
+    assert factory.make("p").random() == factory.make("p").random()
+
+
+def test_factory_child_differs_from_parent():
+    factory = RngFactory(seed=7)
+    child = factory.child("scope")
+    assert factory.make("x").random() != child.make("x").random()
+
+
+def test_factory_child_deterministic():
+    a = RngFactory(seed=7).child("scope").make("x").random()
+    b = RngFactory(seed=7).child("scope").make("x").random()
+    assert a == b
+
+
+def test_factory_exposes_seed():
+    assert RngFactory(seed=11).seed == 11
+
+
+def test_seedsequence_accepted():
+    sequence = np.random.SeedSequence(9)
+    a = spawn_rng(sequence, "a").random()
+    b = spawn_rng(np.random.SeedSequence(9), "a").random()
+    assert a == b

@@ -1,0 +1,62 @@
+"""Tests for JSON serialization of configs and results."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, save_json, to_jsonable
+
+
+@dataclass
+class _Sample:
+    name: str
+    values: np.ndarray
+
+
+def test_numpy_scalars_converted():
+    assert to_jsonable(np.float64(1.5)) == 1.5
+    assert to_jsonable(np.int32(4)) == 4
+    assert to_jsonable(np.bool_(True)) is True
+
+
+def test_numpy_array_converted():
+    assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+
+def test_dataclass_converted():
+    result = to_jsonable(_Sample(name="a", values=np.array([1, 2])))
+    assert result == {"name": "a", "values": [1, 2]}
+
+
+def test_nested_structures():
+    payload = {"rows": [(np.int64(1), {"q": np.array([0.5])})]}
+    assert to_jsonable(payload) == {"rows": [[1, {"q": [0.5]}]]}
+
+def test_sets_become_lists():
+    assert sorted(to_jsonable({3, 1, 2})) == [1, 2, 3]
+
+
+def test_unserializable_raises():
+    with pytest.raises(TypeError, match="Cannot serialize"):
+        to_jsonable(object())
+
+
+def test_to_dict_hook():
+    class WithToDict:
+        def to_dict(self):
+            return {"k": np.float32(2.0)}
+
+    assert to_jsonable(WithToDict()) == {"k": 2.0}
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    path = tmp_path / "nested" / "result.json"
+    save_json({"a": np.arange(3)}, path)
+    assert load_json(path) == {"a": [0, 1, 2]}
+
+
+def test_save_creates_parents(tmp_path):
+    path = tmp_path / "x" / "y" / "z.json"
+    save_json([1, 2], path)
+    assert path.exists()

@@ -1,0 +1,40 @@
+"""Tests for the ASCII table renderer."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+def test_basic_rendering():
+    table = render_table(["a", "b"], [[1, 2], [3, 4]])
+    lines = table.splitlines()
+    assert lines[0].split("|")[0].strip() == "a"
+    assert "1" in lines[2] and "4" in lines[3]
+
+
+def test_title_rendered_first():
+    table = render_table(["x"], [[1]], title="My Table")
+    assert table.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    table = render_table(["v"], [[1234.5678]], float_format=",.1f")
+    assert "1,234.6" in table
+
+
+def test_bool_formatting():
+    table = render_table(["ok"], [[True], [False]])
+    assert "yes" in table and "no" in table
+
+
+def test_column_alignment():
+    table = render_table(["name", "n"], [["long-name", 1], ["s", 22]])
+    lines = table.splitlines()
+    # All rows share the same separator column position.
+    positions = {line.index("|") for line in lines if "|" in line}
+    assert len(positions) == 1
+
+
+def test_row_length_mismatch_raises():
+    with pytest.raises(ValueError, match="cells"):
+        render_table(["a", "b"], [[1]])
