@@ -1,0 +1,86 @@
+"""Bench: serial vs parallel vs warm-cache wall-clock on the Fig.-4 grid.
+
+Measures the ISSUE-2 orchestrator on setup 1: a serial uncached run, a
+parallel cold-cache run, and a warm-cache re-run, asserting the determinism
+contract (bit-identical results) and that the warm re-run is a small
+fraction of the cold one. Parallel speedup itself is hardware-dependent
+(a single-core container cannot show one), so it is reported, not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import get_prepared
+from repro.experiments import ExperimentOrchestrator, run_pricing_comparison
+from repro.utils.serialization import save_json
+from repro.utils.tables import render_table
+
+_JOBS = 4
+_REPEATS = 2
+
+
+def test_bench_orchestrator_fig4_grid(bench_results_dir, tmp_path):
+    prepared = get_prepared("setup1")
+
+    start = time.perf_counter()
+    serial = run_pricing_comparison(prepared, repeats=_REPEATS)
+    serial_s = time.perf_counter() - start
+
+    # tmp_path so pytest reclaims the store even when an assertion fails.
+    cache_dir = tmp_path / "orch-cache"
+    cold = ExperimentOrchestrator(jobs=_JOBS, cache_dir=cache_dir)
+    start = time.perf_counter()
+    parallel = run_pricing_comparison(
+        prepared, repeats=_REPEATS, orchestrator=cold
+    )
+    parallel_s = time.perf_counter() - start
+
+    warm = ExperimentOrchestrator(jobs=_JOBS, cache_dir=cache_dir)
+    start = time.perf_counter()
+    cached = run_pricing_comparison(
+        prepared, repeats=_REPEATS, orchestrator=warm
+    )
+    warm_s = time.perf_counter() - start
+
+    # Determinism contract: all three execution modes agree to the bit.
+    for name in serial:
+        for other in (parallel, cached):
+            assert (serial[name].outcome.q == other[name].outcome.q).all()
+            assert [h.records for h in serial[name].histories] == [
+                h.records for h in other[name].histories
+            ]
+    # Every job was memoized: the warm pass never recomputes.
+    assert warm.store.hits > 0 and warm.store.misses == 0
+    assert warm_s < 0.5 * serial_s
+
+    rows = [
+        ["serial (jobs=1)", serial_s, 1.0],
+        [f"parallel cold (jobs={_JOBS})", parallel_s,
+         serial_s / parallel_s],
+        [f"warm cache (jobs={_JOBS})", warm_s, serial_s / warm_s],
+    ]
+    print()
+    print(
+        render_table(
+            ["mode", "wall-clock s", "speedup"],
+            rows,
+            title=(
+                f"Orchestrator on the Fig.-4 grid "
+                f"({os.cpu_count()} CPU core(s))"
+            ),
+            float_format=",.3f",
+        )
+    )
+    save_json(
+        {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "warm_s": warm_s,
+            "jobs": _JOBS,
+            "repeats": _REPEATS,
+            "cpu_count": os.cpu_count(),
+        },
+        bench_results_dir / "bench_orchestrator.json",
+    )

@@ -1,8 +1,18 @@
 """``python -m repro.experiments`` — regenerate tables/figures from the CLI."""
 
+import os
 import sys
 
 from repro.experiments.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; exit
+        # quietly like a well-behaved Unix filter instead of tracebacking.
+        # Python re-flushes stdout at interpreter shutdown, so detach it
+        # onto devnull first to suppress the secondary error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(1)

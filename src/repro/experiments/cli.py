@@ -1,10 +1,34 @@
 """Command-line interface: regenerate any table or figure of the paper.
 
+Verbs and their paper correspondence:
+
+* ``table --id {2,3,4,5}`` — Tables II/III (simulated seconds to a target
+  loss/accuracy, Sec. VI-B), Table IV (total client-utility gain, Eq. 8a),
+  Table V (negative-payment clients vs mean intrinsic value, Theorem 3).
+* ``fig --id {4,5,6,7}`` — Fig. 4 (loss/accuracy vs simulated time per
+  pricing scheme), Figs. 5-7 (performance vs mean value / mean cost /
+  budget, Sec. VI-C).
+* ``equilibrium`` — the Stackelberg equilibrium ``{P^SE, q^SE}`` of the CPL
+  game (Sec. V), printed per client.
+* ``cache {stats,clear}`` — inspect or empty the content-addressed result
+  store (requires ``--cache-dir``).
+* ``bench`` — serial vs parallel wall-clock on the Fig.-4 grid, plus a
+  warm-cache re-run, verifying the orchestrator's determinism contract.
+
+Parallelism and caching apply to every experiment verb (``table``, ``fig``,
+``equilibrium``): ``--jobs N`` fans independent equilibrium/training jobs
+across ``N`` worker processes and ``--cache-dir DIR`` memoizes each job on
+disk (see :mod:`repro.experiments.orchestrator`). ``bench`` honors
+``--jobs`` but always measures against a fresh private store. Results are
+bit-identical to a serial, uncached run for the same ``--seed``.
+
 Examples::
 
     python -m repro.experiments table --id 5 --setup setup1 --scale ci
     python -m repro.experiments fig --id 4 --setup setup2 --scale bench --out results/
-    python -m repro.experiments equilibrium --setup setup3 --scale ci
+    python -m repro.experiments --jobs 4 --cache-dir ~/.repro-cache fig --id 4
+    python -m repro.experiments --cache-dir ~/.repro-cache cache stats
+    python -m repro.experiments --jobs 4 bench
 
 Artifacts are printed to stdout and, with ``--out``, archived as JSON/CSV.
 """
@@ -13,15 +37,19 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments.configs import SETUPS, apply_scale, resolve_scale
-from repro.experiments.figures import fig4_series, sweep_series
+from repro.experiments.figures import fig4_grid, sweep_series
+from repro.experiments.orchestrator import ExperimentOrchestrator, ResultStore
 from repro.experiments.reporting import (
     comparison_summary,
     export_comparison,
     export_sweep,
+    render_cache_stats,
     render_negative_payment_table,
     render_time_table,
     render_utility_table,
@@ -45,36 +73,70 @@ from repro.utils.serialization import save_json
 from repro.utils.tables import render_table
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro.experiments",
-        description="Regenerate the paper's tables and figures.",
-    )
+def _add_common_options(
+    parser: argparse.ArgumentParser, *, suppress: bool = False
+) -> None:
+    """Add the shared options to ``parser``.
+
+    The same options are attached to the main parser (with real defaults)
+    and to every subparser (with ``SUPPRESS`` defaults), so they are
+    accepted on either side of the verb: ``--setup setup2 fig --id 4`` and
+    ``fig --id 4 --setup setup2`` both work. ``SUPPRESS`` keeps a
+    subparser from clobbering a value parsed before the verb.
+    """
+
+    def default(value):
+        return argparse.SUPPRESS if suppress else value
+
     parser.add_argument(
         "--scale",
         choices=("ci", "bench", "paper"),
-        default=None,
+        default=default(None),
         help="scale profile (default: REPRO_SCALE env or 'bench')",
     )
     parser.add_argument(
         "--setup",
         choices=tuple(SETUPS),
-        default="setup1",
+        default=default("setup1"),
         help="which paper setup to run",
     )
-    parser.add_argument("--seed", type=int, default=0, help="root seed")
     parser.add_argument(
-        "--out", type=Path, default=None, help="directory for artifacts"
+        "--seed", type=int, default=default(0), help="root seed"
     )
+    parser.add_argument(
+        "--out", type=Path, default=default(None),
+        help="directory for artifacts",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=default(1),
+        help="worker processes for independent jobs (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=default(None),
+        help="content-addressed result store; re-runs become near-instant",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    _add_common_options(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    table = subparsers.add_parser("table", help="regenerate a table")
+    def add_verb(name: str, **kwargs) -> argparse.ArgumentParser:
+        verb = subparsers.add_parser(name, **kwargs)
+        _add_common_options(verb, suppress=True)
+        return verb
+
+    table = add_verb("table", help="regenerate a table")
     table.add_argument(
         "--id", type=int, choices=(2, 3, 4, 5), required=True,
         help="paper table number",
     )
 
-    fig = subparsers.add_parser("fig", help="regenerate a figure's series")
+    fig = add_verb("fig", help="regenerate a figure's series")
     fig.add_argument(
         "--id", type=int, choices=(4, 5, 6, 7), required=True,
         help="paper figure number",
@@ -84,8 +146,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="independent runs per curve (default: scale profile)",
     )
 
-    subparsers.add_parser(
+    add_verb(
         "equilibrium", help="solve and print the Stackelberg equilibrium"
+    )
+
+    cache = add_verb("cache", help="inspect or clear the result store")
+    cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entry count/bytes; clear: delete every cached result",
+    )
+
+    bench = add_verb(
+        "bench",
+        help="serial vs parallel wall-clock on the Fig.-4 grid",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="independent runs per scheme (default: scale profile)",
     )
     return parser
 
@@ -96,15 +173,23 @@ def _prepared(args):
     return prepare_setup(config, scale=scale, seed=args.seed)
 
 
+def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
+    """Build the orchestrator the global flags ask for (None = default)."""
+    if args.jobs == 1 and args.cache_dir is None:
+        return None
+    return ExperimentOrchestrator(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
 def _cmd_table(args) -> int:
     prepared = _prepared(args)
+    orchestrator = _orchestrator(args)
     if args.id == 5:
-        rows = table5_rows(prepared)
+        rows = table5_rows(prepared, orchestrator=orchestrator)
         print(render_negative_payment_table(rows))
         if args.out:
             save_json({"rows": rows}, args.out / "table5.json")
         return 0
-    comparison = run_pricing_comparison(prepared)
+    comparison = run_pricing_comparison(prepared, orchestrator=orchestrator)
     comparisons = {args.setup: comparison}
     if args.id == 2:
         rows, _ = table2_rows(comparisons)
@@ -124,10 +209,12 @@ def _cmd_table(args) -> int:
 
 def _cmd_fig(args) -> int:
     prepared = _prepared(args)
+    orchestrator = _orchestrator(args)
     repeats = args.repeats or max(1, prepared.config.repeats // 2)
     if args.id == 4:
-        comparison = run_pricing_comparison(prepared, repeats=repeats)
-        series = fig4_series(comparison)
+        comparison, series = fig4_grid(
+            prepared, repeats=repeats, orchestrator=orchestrator
+        )
         for scheme, curves in series.items():
             final = curves["loss_mean"][~_nan(curves["loss_mean"])][-1]
             print(f"{scheme}: final loss {final:.4f} over "
@@ -138,17 +225,20 @@ def _cmd_fig(args) -> int:
         return 0
     if args.id == 5:
         points = sweep_mean_value(
-            prepared, (0.0, 4_000.0, 80_000.0), repeats=repeats
+            prepared, (0.0, 4_000.0, 80_000.0), repeats=repeats,
+            orchestrator=orchestrator,
         )
     elif args.id == 6:
         base = prepared.config.mean_cost
         points = sweep_mean_cost(
-            prepared, (base * 2, base, base * 0.25), repeats=repeats
+            prepared, (base * 2, base, base * 0.25), repeats=repeats,
+            orchestrator=orchestrator,
         )
     else:  # fig 7
         base = prepared.problem.budget
         points = sweep_budget(
-            prepared, (base * 0.1, base * 0.5, base), repeats=repeats
+            prepared, (base * 0.1, base * 0.5, base), repeats=repeats,
+            orchestrator=orchestrator,
         )
     series = sweep_series(points)
     rows = [
@@ -175,7 +265,13 @@ def _cmd_fig(args) -> int:
 
 def _cmd_equilibrium(args) -> int:
     prepared = _prepared(args)
-    equilibrium = solve_cpl_game(prepared.problem)
+    orchestrator = _orchestrator(args)
+    if orchestrator is None:
+        equilibrium = solve_cpl_game(prepared.problem)
+    else:
+        # Same job key as the "proposed" scheme's solve in table/fig runs,
+        # so a --cache-dir warmed here is reused by them (and vice versa).
+        equilibrium = orchestrator.equilibrium_outcome(prepared).equilibrium
     summary = equilibrium.summary()
     for key, value in summary.items():
         print(f"{key}: {value}")
@@ -207,6 +303,120 @@ def _cmd_equilibrium(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    if args.cache_dir is None:
+        print("cache: --cache-dir is required", file=sys.stderr)
+        return 2
+    store = ResultStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached result(s) from {store.root}")
+        return 0
+    print(render_cache_stats(store.stats()))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Benchmark the orchestrator on the Fig.-4 grid (3 schemes x repeats).
+
+    Times a serial uncached run, a parallel cold-cache run with ``--jobs``
+    workers, and a warm-cache re-run, then verifies the three produced
+    bit-identical training histories. Parallel speedup requires the
+    hardware to actually have spare cores (reported in the output);
+    cache speedup does not.
+    """
+    import os as _os
+    import shutil
+
+    import numpy as np
+
+    prepared = _prepared(args)
+    repeats = args.repeats or max(1, prepared.config.repeats // 2)
+    # Always a fresh private store: measuring a "cold cache" through a
+    # user-populated --cache-dir would silently time cache hits instead.
+    if args.cache_dir is not None:
+        print(
+            "bench: ignoring --cache-dir (a cold-cache measurement needs "
+            "an empty private store)"
+        )
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        start = time.perf_counter()
+        serial, _ = fig4_grid(prepared, repeats=repeats)
+        serial_s = time.perf_counter() - start
+
+        cold_orch = ExperimentOrchestrator(
+            jobs=args.jobs, cache_dir=cache_dir
+        )
+        start = time.perf_counter()
+        parallel, _ = fig4_grid(
+            prepared, repeats=repeats, orchestrator=cold_orch
+        )
+        parallel_s = time.perf_counter() - start
+
+        warm_orch = ExperimentOrchestrator(
+            jobs=args.jobs, cache_dir=cache_dir
+        )
+        start = time.perf_counter()
+        warm, _ = fig4_grid(prepared, repeats=repeats, orchestrator=warm_orch)
+        warm_s = time.perf_counter() - start
+
+        stats = warm_orch.store.stats()
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = all(
+        np.array_equal(serial[name].outcome.q, parallel[name].outcome.q)
+        and np.array_equal(serial[name].outcome.q, warm[name].outcome.q)
+        and len(serial[name].histories)
+        == len(parallel[name].histories)
+        == len(warm[name].histories)
+        and all(
+            a.records == b.records == c.records
+            for a, b, c in zip(
+                serial[name].histories,
+                parallel[name].histories,
+                warm[name].histories,
+            )
+        )
+        for name in serial
+    )
+    rows = [
+        ["serial (jobs=1, no cache)", serial_s, 1.0],
+        [f"parallel (jobs={args.jobs}, cold cache)", parallel_s,
+         serial_s / parallel_s if parallel_s > 0 else float("inf")],
+        [f"warm cache (jobs={args.jobs})", warm_s,
+         serial_s / warm_s if warm_s > 0 else float("inf")],
+    ]
+    print(
+        render_table(
+            ["mode", "wall-clock s", "speedup vs serial"],
+            rows,
+            title=(
+                f"Fig.-4 grid ({args.setup}, {len(serial)} schemes x "
+                f"{repeats} seeds, {_os.cpu_count()} CPU core(s) available)"
+            ),
+            float_format=",.3f",
+        )
+    )
+    print(f"parallel == serial == warm-cache (bit-identical): {identical}")
+    print(render_cache_stats(stats))
+    if args.out:
+        save_json(
+            {
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "warm_s": warm_s,
+                "jobs": args.jobs,
+                "repeats": repeats,
+                "cpu_count": _os.cpu_count(),
+                "identical": identical,
+            },
+            args.out / f"bench_orchestrator_{args.setup}.json",
+        )
+    return 0 if identical else 1
+
+
 def _nan(array):
     import numpy as np
 
@@ -229,7 +439,10 @@ def _summary_table(comparison) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     if args.command == "table":
@@ -238,6 +451,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "equilibrium":
         return _cmd_equilibrium(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

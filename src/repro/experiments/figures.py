@@ -4,15 +4,49 @@ No plotting dependency is available offline, so each "figure" is the exact
 data series behind it — time grids with seed-averaged loss/accuracy curves
 (Fig. 4) or parameter values with performance at a fixed evaluation time
 (Figs. 5-7) — printable by the bench harness and exportable to CSV.
+
+:func:`fig4_grid` is the orchestrator-aware entry point: it runs the full
+scheme x seed grid behind Fig. 4 through an
+:class:`~repro.experiments.orchestrator.ExperimentOrchestrator`, so the grid
+parallelizes across processes and memoizes per-job results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.experiments.runner import PricingComparison, SweepPoint
+from repro.experiments.runner import (
+    PricingComparison,
+    SweepPoint,
+    run_pricing_comparison,
+)
+
+
+def fig4_grid(
+    prepared,
+    *,
+    repeats: Optional[int] = None,
+    orchestrator=None,
+) -> Tuple[PricingComparison, Dict[str, dict]]:
+    """Run the Fig.-4 (scheme x seed) grid and return its averaged series.
+
+    Args:
+        prepared: Output of :func:`repro.experiments.setup.prepare_setup`.
+        repeats: Independent seeds per scheme (default: scale profile's).
+        orchestrator: Optional
+            :class:`~repro.experiments.orchestrator.ExperimentOrchestrator`
+            for parallel/cached execution.
+
+    Returns:
+        ``(comparison, series)`` — the raw per-scheme results and the
+        :func:`fig4_series` curves derived from them.
+    """
+    comparison = run_pricing_comparison(
+        prepared, repeats=repeats, orchestrator=orchestrator
+    )
+    return comparison, fig4_series(comparison)
 
 
 def fig4_series(comparison: PricingComparison) -> Dict[str, dict]:

@@ -1,0 +1,840 @@
+"""Parallel experiment orchestration with content-addressed result caching.
+
+Reproducing the paper's Fig. 4-7 curves and Tables II-V means many
+independent (setup x pricing-scheme x seed) equilibrium solves and FL
+training runs. This module decomposes those batteries into a DAG of *pure
+jobs* and executes independent jobs across a process pool, memoizing every
+job in an on-disk result store so re-runs and partial sweeps are
+near-instant.
+
+Job kinds
+=========
+
+* :class:`EquilibriumJob` — apply one pricing scheme to one (possibly
+  variant) prepared setup; produces a
+  :class:`~repro.game.pricing.PricingOutcome`.
+* :class:`TrainJob` — one FL training run at a fixed participation vector
+  ``q`` and seed; produces a :class:`~repro.fl.history.TrainingHistory`.
+
+A pricing comparison is the two-level DAG ``equilibrium -> {train(seed)}``
+per scheme; a Figs.-5-7 sweep is the same DAG once per swept value. The
+final seed-average (history aggregation) is a cheap in-process reduction
+performed by :class:`~repro.experiments.runner.SchemeResult`.
+
+Determinism contract
+====================
+
+Parallel results are **bit-identical** to serial ones. Every job derives
+its randomness from an explicit :class:`~repro.utils.rng.RngFactory` child
+keyed by the job's own coordinates (the root seed travels inside the
+pickled :class:`~repro.experiments.setup.PreparedSetup`; a train job's
+stream is ``rng_factory.child("run", str(seed))``), never from process
+state, execution order, or wall-clock. Workers reconstruct the identical
+factory from the same integers, so scheduling cannot perturb any stream.
+
+Cache key scheme
+================
+
+A job's key is the SHA-256 of the canonical JSON of::
+
+    {schema, code, setup: {config, scale, rng_seed, problem}, kind,
+     <job fields>}
+
+where ``code`` is ``repro.__version__`` (bump it when numerics change),
+``setup.rng_seed`` is the prepared setup's derived root seed, and
+``setup.problem`` digests the calibrated economic problem itself — so a
+``with_budget``/``with_mean_value``-derived setup never shares keys with
+its base. Train jobs are keyed by the *full* ``q`` vector rather than the
+scheme that produced it, so two schemes or sweep points that induce the
+same participation share one cached run. Within a single graph run,
+duplicate keys are coalesced in memory — onto one pool submission while in
+flight, and onto the already-decoded result afterwards — so the sharing
+holds even without an on-disk store.
+
+Example::
+
+    orchestrator = ExperimentOrchestrator(jobs=4, cache_dir="~/.repro-cache")
+    comparison = run_pricing_comparison(prepared, orchestrator=orchestrator)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+import repro
+from repro.experiments.setup import PreparedSetup
+from repro.utils.serialization import (
+    canonical_dumps,
+    content_address,
+    history_from_doc,
+    history_to_doc,
+    load_json,
+    outcome_from_doc,
+    outcome_to_doc,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the store layout or key document structure changes.
+CACHE_SCHEMA_VERSION = 2
+
+#: ``(kind, value)`` describing a derived setup, e.g. ``("mean_value", 0.0)``
+#: for :meth:`PreparedSetup.with_mean_value`; ``None`` is the base setup.
+Variant = Optional[Tuple[str, float]]
+
+_VARIANT_KINDS = ("mean_value", "mean_cost", "budget")
+
+
+def apply_variant(prepared: PreparedSetup, variant: Variant) -> PreparedSetup:
+    """Return the setup a job runs against: base or a ``with_*`` copy."""
+    if variant is None:
+        return prepared
+    kind, value = variant
+    if kind not in _VARIANT_KINDS:
+        raise ValueError(
+            f"unknown variant kind {kind!r}; choose from {_VARIANT_KINDS}"
+        )
+    return getattr(prepared, f"with_{kind}")(float(value))
+
+
+def setup_fingerprint(prepared: PreparedSetup) -> dict:
+    """The cache-key component identifying a prepared setup.
+
+    The config dataclass and scale profile pin every structural knob and
+    the derived root seed (an integer, stable across processes) pins every
+    random stream — but ``PreparedSetup.with_*`` variants replace the
+    stored economic problem *without* touching the config, so the problem
+    itself is fingerprinted too (scalars verbatim, client arrays as
+    digests). A derived setup therefore never collides with its base.
+    """
+    problem = prepared.problem
+    population = problem.population
+    return {
+        "config": dataclasses.asdict(prepared.config),
+        "scale": dataclasses.asdict(prepared.scale),
+        "rng_seed": prepared.rng_factory.seed,
+        "problem": {
+            "alpha": float(problem.alpha),
+            "num_rounds": int(problem.num_rounds),
+            "budget": float(problem.budget),
+            "beta": float(problem.beta),
+            "f_star": float(problem.f_star),
+            "local_gaps": (
+                None
+                if problem.local_gaps is None
+                else content_address(
+                    [float(gap) for gap in problem.local_gaps]
+                )
+            ),
+            "population": content_address(
+                {
+                    name: [float(v) for v in getattr(population, name)]
+                    for name in (
+                        "weights",
+                        "gradient_bounds",
+                        "costs",
+                        "values",
+                        "q_max",
+                    )
+                }
+            ),
+        },
+    }
+
+
+@dataclass(frozen=True)
+class EquilibriumJob:
+    """Solve one pricing scheme on one (variant) setup — a pure game solve."""
+
+    scheme_class: str
+    scheme_name: str
+    method: Optional[str] = None
+    variant: Variant = None
+
+    kind = "equilibrium"
+
+    def key_fields(self) -> dict:
+        return {
+            "scheme_class": self.scheme_class,
+            "scheme_name": self.scheme_name,
+            "method": self.method,
+            "variant": list(self.variant) if self.variant else None,
+        }
+
+
+@dataclass(frozen=True)
+class TrainJob:
+    """One FL training run at participation vector ``q`` with one seed.
+
+    ``q`` is stored as a tuple of exact floats: it *is* the job's identity
+    (training never reads the economic problem), so identical vectors from
+    different schemes or sweep points dedupe to one cached run.
+    """
+
+    q: Tuple[float, ...]
+    seed: int
+
+    kind = "train"
+
+    def key_fields(self) -> dict:
+        return {"q": list(self.q), "seed": int(self.seed)}
+
+
+JobSpec = Union[EquilibriumJob, TrainJob]
+
+
+def job_key_doc(
+    prepared: PreparedSetup,
+    spec: JobSpec,
+    *,
+    setup_doc: Optional[dict] = None,
+) -> dict:
+    """The full, human-readable key document hashed into a cache key.
+
+    ``setup_doc`` lets batch callers pass a precomputed
+    :func:`setup_fingerprint` instead of re-digesting the config and
+    client arrays once per job.
+    """
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "code": repro.__version__,
+        "setup": (
+            setup_fingerprint(prepared) if setup_doc is None else setup_doc
+        ),
+        "kind": spec.kind,
+        "job": spec.key_fields(),
+    }
+
+
+def job_key(
+    prepared: PreparedSetup,
+    spec: JobSpec,
+    *,
+    setup_doc: Optional[dict] = None,
+) -> str:
+    """SHA-256 cache key for ``spec`` run against ``prepared``."""
+    return content_address(job_key_doc(prepared, spec, setup_doc=setup_doc))
+
+
+# Result store ---------------------------------------------------------------
+
+
+class ResultStore:
+    """Content-addressed on-disk memo of job results.
+
+    Layout: ``root/<key[:2]>/<key>.json``, each file holding
+    ``{"key": <key document>, "kind": ..., "payload": <encoded result>}``.
+    Writes are atomic (temp file + ``os.replace``), so a crashed run never
+    leaves a partially-written entry under its final name. Reads treat any
+    unreadable or malformed entry as a miss and recompute — corruption can
+    cost time, never correctness.
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, root: "os.PathLike[str] | str"):
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{self._SUFFIX}"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored document for ``key``, or ``None`` on miss.
+
+        Truncated, unparsable, or structurally wrong files are logged,
+        counted in :attr:`corrupt`, and reported as misses.
+        """
+        path = self._path(key)
+        try:
+            doc = load_json(path)
+            if (
+                not isinstance(doc, dict)
+                or "payload" not in doc
+                or "kind" not in doc
+            ):
+                raise ValueError("missing payload/kind fields")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            # json.JSONDecodeError subclasses ValueError.
+            logger.warning(
+                "result store: discarding corrupt entry %s (%s); "
+                "the job will be recomputed",
+                path,
+                error,
+            )
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return doc
+
+    def put(self, key: str, key_doc: dict, kind: str, payload: dict) -> Path:
+        """Atomically persist one job result under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"key": key_doc, "kind": kind, "payload": payload}
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=self._SUFFIX
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(canonical_dumps(document))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def _entries(self) -> List[Path]:
+        if not self.root.is_dir():
+            return []
+        return [
+            path
+            for path in self.root.glob(f"??/*{self._SUFFIX}")
+            if not path.name.startswith(".tmp-")
+        ]
+
+    def _orphans(self) -> List[Path]:
+        """``.tmp-*`` files left by writes that died before ``os.replace``."""
+        if not self.root.is_dir():
+            return []
+        return list(self.root.glob("??/.tmp-*"))
+
+    @staticmethod
+    def _size_of(path: Path) -> int:
+        """File size, tolerating concurrent writers: a ``.tmp-`` file can
+        be renamed away (or an entry replaced) between glob and stat."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def stats(self) -> dict:
+        """On-disk totals plus this session's hit/miss/corruption counters.
+
+        ``total_bytes`` includes orphaned temp files from interrupted
+        writes (reclaimable via :meth:`clear`), reported separately under
+        ``orphaned_tmp``.
+        """
+        entries = self._entries()
+        orphans = self._orphans()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "total_bytes": sum(
+                self._size_of(path) for path in entries + orphans
+            ),
+            "orphaned_tmp": len(orphans),
+            "session_hits": self.hits,
+            "session_misses": self.misses,
+            "session_corrupt": self.corrupt,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry (and any orphaned temp file left by an
+        interrupted write); returns how many entries were removed."""
+        entries = self._entries()
+        for path in entries + self._orphans():
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass  # a concurrent writer renamed/removed it first
+        return len(entries)
+
+
+# Worker-side execution ------------------------------------------------------
+
+# The base PreparedSetup is shipped once per worker (pool initializer), not
+# once per job; at bench scale the pickle runs to megabytes.
+_WORKER_PREPARED: Optional[PreparedSetup] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_PREPARED
+    _WORKER_PREPARED = pickle.loads(payload)
+
+
+def _scheme_registry() -> dict:
+    from repro.game import OptimalPricing, UniformPricing, WeightedPricing
+
+    return {
+        "OptimalPricing": OptimalPricing,
+        "UniformPricing": UniformPricing,
+        "WeightedPricing": WeightedPricing,
+    }
+
+
+def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
+    """Run one job and return its *encoded* payload.
+
+    Both the serial path and the pool workers return encoded documents, and
+    the orchestrator always decodes before handing results to callers — so
+    fresh, parallel, and cache-hit results pass through the exact same
+    codec and are indistinguishable.
+    """
+    if isinstance(spec, EquilibriumJob):
+        registry = _scheme_registry()
+        if spec.scheme_class not in registry:
+            raise ValueError(
+                f"unknown scheme class {spec.scheme_class!r}; orchestrated "
+                f"schemes must be one of {sorted(registry)}"
+            )
+        cls = registry[spec.scheme_class]
+        scheme = cls(spec.method) if spec.method is not None else cls()
+        outcome = scheme.apply(apply_variant(prepared, spec.variant).problem)
+        return outcome_to_doc(outcome)
+    if isinstance(spec, TrainJob):
+        from repro.experiments.runner import run_history
+
+        history = run_history(
+            prepared, np.asarray(spec.q, dtype=float), seed=spec.seed
+        )
+        return history_to_doc(history)
+    raise TypeError(f"unknown job spec {type(spec).__name__}")
+
+
+def _run_remote(spec: JobSpec) -> dict:
+    if _WORKER_PREPARED is None:
+        raise RuntimeError("worker pool was not initialized with a setup")
+    return _execute_spec(_WORKER_PREPARED, spec)
+
+
+# DAG scheduling -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobNode:
+    """One node of a job DAG.
+
+    ``build`` receives the decoded results of this node's dependencies
+    (name -> result) and returns the concrete :class:`JobSpec` — specs that
+    depend on upstream outputs (a train job's ``q``) can only be formed
+    once those outputs exist.
+    """
+
+    name: str
+    build: Callable[[Dict[str, Any]], JobSpec]
+    deps: Tuple[str, ...] = ()
+
+
+class ExperimentOrchestrator:
+    """Executes job DAGs across a worker pool with result memoization.
+
+    Args:
+        jobs: Worker processes. ``1`` (the default) runs everything inline
+            in the calling process — no pool, no pickling — which is also
+            the reference order for the determinism contract.
+        cache_dir: Directory for the content-addressed result store; when
+            ``None``, nothing is persisted and every job recomputes.
+        store: Pre-built store (overrides ``cache_dir``); mainly for tests.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: "os.PathLike[str] | str | None" = None,
+        *,
+        store: Optional[ResultStore] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        if store is not None:
+            self.store = store
+        elif cache_dir is not None:
+            self.store = ResultStore(cache_dir)
+        else:
+            self.store = None
+
+    # Core executor ----------------------------------------------------------
+
+    def run_graph(
+        self, prepared: PreparedSetup, nodes: Sequence[JobNode]
+    ) -> Dict[str, Any]:
+        """Execute a DAG of jobs; returns decoded results keyed by node name.
+
+        Ready nodes (all dependencies resolved) run as soon as a worker is
+        free; cache hits resolve without touching the pool. Node results
+        are deterministic, so scheduling order never affects values.
+        """
+        by_name = {node.name: node for node in nodes}
+        if len(by_name) != len(nodes):
+            raise ValueError("duplicate job node names")
+        for node in nodes:
+            for dep in node.deps:
+                if dep not in by_name:
+                    raise ValueError(
+                        f"node {node.name!r} depends on unknown {dep!r}"
+                    )
+        results: Dict[str, Any] = {}
+        remaining = dict(by_name)
+        # Fingerprint the setup once per graph (it digests the config and
+        # every client array) and memoize decoded results by key for the
+        # run's duration, so nodes sharing a key (two schemes inducing the
+        # same q vector) compute once even without an on-disk store.
+        setup_doc = setup_fingerprint(prepared)
+        memo: Dict[str, Any] = {}
+        if self.jobs == 1:
+            while remaining:
+                ready = [
+                    node
+                    for node in remaining.values()
+                    if all(dep in results for dep in node.deps)
+                ]
+                if not ready:
+                    raise ValueError("job graph contains a dependency cycle")
+                # `ready` preserves declaration order (dicts iterate in
+                # insertion order), which is the reference serial order.
+                for node in ready:
+                    results[node.name] = self._run_one(
+                        prepared, node.build(results),
+                        setup_doc=setup_doc, memo=memo,
+                    )
+                    del remaining[node.name]
+            return results
+        # The pool (and the multi-megabyte setup pickle its initializer
+        # ships) is created lazily on the first cache miss, so a fully
+        # warm re-run never pays worker startup at all.
+        pool: Optional[ProcessPoolExecutor] = None
+        # future -> (spec, key, node names awaiting it). Several nodes
+        # can share one content-addressed key (e.g. two schemes
+        # inducing the same q vector); `inflight` coalesces them onto
+        # a single pool submission instead of recomputing.
+        futures: Dict[Any, Tuple[JobSpec, str, List[str]]] = {}
+        inflight: Dict[str, Any] = {}
+        try:
+            while remaining or futures:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for name in list(remaining):
+                        node = remaining[name]
+                        if not all(dep in results for dep in node.deps):
+                            continue
+                        spec = node.build(results)
+                        key, cached = self._lookup(
+                            prepared, spec, setup_doc=setup_doc, memo=memo
+                        )
+                        if cached is not None:
+                            results[name] = cached
+                            progressed = True
+                        elif key in inflight:
+                            futures[inflight[key]][2].append(name)
+                        else:
+                            if pool is None:
+                                pool = ProcessPoolExecutor(
+                                    max_workers=self.jobs,
+                                    initializer=_init_worker,
+                                    initargs=(
+                                        pickle.dumps(
+                                            prepared,
+                                            protocol=(
+                                                pickle.HIGHEST_PROTOCOL
+                                            ),
+                                        ),
+                                    ),
+                                )
+                            future = pool.submit(_run_remote, spec)
+                            futures[future] = (spec, key, [name])
+                            inflight[key] = future
+                        del remaining[name]
+                if not futures:
+                    if remaining:
+                        raise ValueError(
+                            "job graph contains a dependency cycle"
+                        )
+                    break
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec, key, names = futures.pop(future)
+                    del inflight[key]
+                    doc = future.result()
+                    self._persist(
+                        prepared, spec, key, doc, setup_doc=setup_doc
+                    )
+                    decoded = self._decode(prepared, spec, doc)
+                    memo[key] = decoded
+                    for name in names:
+                        results[name] = decoded
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return results
+
+    def _lookup(
+        self,
+        prepared: PreparedSetup,
+        spec: JobSpec,
+        *,
+        setup_doc: Optional[dict] = None,
+        memo: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[str, Optional[Any]]:
+        """Return ``(key, decoded result or None)`` for ``spec``.
+
+        ``memo`` (a per-graph in-memory ``{key: decoded}`` map) is checked
+        before the store. A stored entry whose payload fails to decode
+        (valid JSON but wrong shape — e.g. partially rewritten by hand) is
+        treated exactly like a parse failure: logged, counted as corrupt,
+        reported as a miss.
+        """
+        key = job_key(prepared, spec, setup_doc=setup_doc)
+        if memo is not None and key in memo:
+            return key, memo[key]
+        if self.store is None:
+            return key, None
+        entry = self.store.get(key)
+        if entry is None:
+            return key, None
+        try:
+            return key, self._decode(prepared, spec, entry["payload"])
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            logger.warning(
+                "result store: discarding undecodable entry for key %s "
+                "(%s); the job will be recomputed",
+                key,
+                error,
+            )
+            self.store.corrupt += 1
+            self.store.hits -= 1
+            self.store.misses += 1
+            return key, None
+
+    def _persist(
+        self,
+        prepared: PreparedSetup,
+        spec: JobSpec,
+        key: str,
+        doc: dict,
+        *,
+        setup_doc: Optional[dict] = None,
+    ) -> None:
+        if self.store is not None:
+            self.store.put(
+                key,
+                job_key_doc(prepared, spec, setup_doc=setup_doc),
+                spec.kind,
+                doc,
+            )
+
+    def _run_one(
+        self,
+        prepared: PreparedSetup,
+        spec: JobSpec,
+        *,
+        setup_doc: Optional[dict] = None,
+        memo: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        key, cached = self._lookup(
+            prepared, spec, setup_doc=setup_doc, memo=memo
+        )
+        if cached is not None:
+            return cached
+        doc = _execute_spec(prepared, spec)
+        self._persist(prepared, spec, key, doc, setup_doc=setup_doc)
+        decoded = self._decode(prepared, spec, doc)
+        if memo is not None:
+            memo[key] = decoded
+        return decoded
+
+    def _decode(
+        self, prepared: PreparedSetup, spec: JobSpec, doc: dict
+    ) -> Any:
+        if isinstance(spec, EquilibriumJob):
+            problem = apply_variant(prepared, spec.variant).problem
+            return outcome_from_doc(doc, problem)
+        return history_from_doc(doc)
+
+    # High-level batteries ---------------------------------------------------
+
+    def equilibrium_outcome(
+        self,
+        prepared: PreparedSetup,
+        scheme: Optional[Any] = None,
+        *,
+        variant: Variant = None,
+    ) -> Any:
+        """One cached/parallelizable scheme application (Table-V building
+        block)."""
+        spec = _scheme_spec(scheme, variant)
+        return self._run_one(prepared, spec)
+
+    def run_comparison(
+        self,
+        prepared: PreparedSetup,
+        *,
+        repeats: Optional[int] = None,
+        schemes: Optional[Sequence[Any]] = None,
+        train: bool = True,
+        variant: Variant = None,
+    ) -> Dict[str, Any]:
+        """Orchestrated :func:`~repro.experiments.runner.run_pricing_comparison`.
+
+        Builds the ``equilibrium -> {train(seed)}`` DAG per scheme and
+        returns ``{scheme name: SchemeResult}``.
+        """
+        from repro.experiments.runner import SchemeResult, default_schemes
+
+        if repeats is None:
+            repeats = prepared.config.repeats
+        if schemes is None:
+            schemes = default_schemes()
+        nodes: List[JobNode] = []
+        # Schemes outside the registry (user subclasses of PricingScheme)
+        # can't be shipped to workers or cached by name, so their solves run
+        # inline here — their train jobs still parallelize/memoize, since a
+        # train job depends only on the induced q vector.
+        inline_outcomes: Dict[str, Any] = {}
+        for scheme in schemes:
+            eq_name = f"eq/{scheme.name}"
+            if type(scheme).__name__ in _scheme_registry():
+                spec = _scheme_spec(scheme, variant)
+                nodes.append(
+                    JobNode(name=eq_name, build=lambda _, s=spec: s)
+                )
+            else:
+                inline_outcomes[scheme.name] = scheme.apply(
+                    apply_variant(prepared, variant).problem
+                )
+            if train:
+                for seed in range(repeats):
+                    if scheme.name in inline_outcomes:
+                        q_vector = tuple(
+                            float(v) for v in inline_outcomes[scheme.name].q
+                        )
+                        nodes.append(
+                            JobNode(
+                                name=f"train/{scheme.name}/{seed}",
+                                build=lambda _, q=q_vector, s=seed: TrainJob(
+                                    q=q, seed=s
+                                ),
+                            )
+                        )
+                    else:
+                        nodes.append(
+                            JobNode(
+                                name=f"train/{scheme.name}/{seed}",
+                                deps=(eq_name,),
+                                build=lambda results, e=eq_name, s=seed: (
+                                    TrainJob(
+                                        q=tuple(
+                                            float(v) for v in results[e].q
+                                        ),
+                                        seed=s,
+                                    )
+                                ),
+                            )
+                        )
+        results = self.run_graph(prepared, nodes)
+        comparison: Dict[str, Any] = {}
+        for scheme in schemes:
+            histories = [
+                results[f"train/{scheme.name}/{seed}"]
+                for seed in range(repeats)
+            ] if train else []
+            outcome = inline_outcomes.get(
+                scheme.name, results.get(f"eq/{scheme.name}")
+            )
+            comparison[scheme.name] = SchemeResult(
+                outcome=outcome, histories=histories
+            )
+        return comparison
+
+    def run_sweep(
+        self,
+        prepared: PreparedSetup,
+        kind: str,
+        values: Sequence[float],
+        *,
+        repeats: int = 1,
+        train: bool = True,
+    ) -> List[Any]:
+        """Orchestrated Figs.-5-7 sweep under :class:`OptimalPricing`.
+
+        Args:
+            prepared: Base setup; each value derives a variant via the
+                matching ``with_<kind>`` copy.
+            kind: ``"mean_value"``, ``"mean_cost"``, or ``"budget"``.
+            values: Swept parameter values.
+            repeats: Training seeds per sweep point.
+            train: When ``False`` only equilibria are solved.
+        """
+        from repro.experiments.runner import SchemeResult, SweepPoint
+        from repro.game import OptimalPricing
+
+        if kind not in _VARIANT_KINDS:
+            raise ValueError(
+                f"unknown sweep kind {kind!r}; choose from {_VARIANT_KINDS}"
+            )
+        nodes: List[JobNode] = []
+        for index, value in enumerate(values):
+            spec = _scheme_spec(OptimalPricing(), (kind, float(value)))
+            eq_name = f"eq/{index}"
+            nodes.append(JobNode(name=eq_name, build=lambda _, s=spec: s))
+            if train:
+                for seed in range(repeats):
+                    nodes.append(
+                        JobNode(
+                            name=f"train/{index}/{seed}",
+                            deps=(eq_name,),
+                            build=lambda results, e=eq_name, s=seed: TrainJob(
+                                q=tuple(
+                                    float(v) for v in results[e].q
+                                ),
+                                seed=s,
+                            ),
+                        )
+                    )
+        results = self.run_graph(prepared, nodes)
+        points = []
+        for index, value in enumerate(values):
+            histories = [
+                results[f"train/{index}/{seed}"] for seed in range(repeats)
+            ] if train else []
+            points.append(
+                SweepPoint(
+                    parameter=float(value),
+                    result=SchemeResult(
+                        outcome=results[f"eq/{index}"], histories=histories
+                    ),
+                )
+            )
+        return points
+
+
+def _scheme_spec(scheme: Optional[Any], variant: Variant) -> EquilibriumJob:
+    """Build the :class:`EquilibriumJob` identifying ``scheme``."""
+    from repro.game import OptimalPricing
+
+    if scheme is None:
+        scheme = OptimalPricing()
+    cls = type(scheme).__name__
+    if cls not in _scheme_registry():
+        raise ValueError(
+            f"scheme {cls!r} is not orchestratable; register it in "
+            "repro.experiments.orchestrator or run it serially via "
+            "scheme.apply(problem)"
+        )
+    return EquilibriumJob(
+        scheme_class=cls,
+        scheme_name=scheme.name,
+        method=getattr(scheme, "method", None),
+        variant=variant,
+    )

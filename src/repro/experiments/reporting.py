@@ -48,6 +48,14 @@ def render_negative_payment_table(rows: Sequence[Sequence[object]]) -> str:
     )
 
 
+def render_cache_stats(stats: Dict[str, object]) -> str:
+    """Render the result-store stats from ``ResultStore.stats()``."""
+    rows = [[key, value] for key, value in stats.items()]
+    return render_table(
+        ["field", "value"], rows, title="Result-store statistics"
+    )
+
+
 def comparison_summary(comparison: PricingComparison) -> Dict[str, dict]:
     """Scalar summary per scheme (for JSON export and quick printing)."""
     summary = {}

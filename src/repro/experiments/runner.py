@@ -3,10 +3,18 @@
 These functions produce the raw material for every Fig.-4-7 curve and every
 Table-II-V row: equilibrium outcomes from the game layer, plus measured
 training histories from the FL engine on the simulated testbed.
+
+All batteries execute through
+:class:`~repro.experiments.orchestrator.ExperimentOrchestrator`. The default
+is a serial, uncached orchestrator that reproduces the historical inline
+behavior exactly; pass ``orchestrator=ExperimentOrchestrator(jobs=N,
+cache_dir=...)`` to fan the same jobs out across processes with
+content-addressed memoization (results are bit-identical either way).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -24,10 +32,24 @@ from repro.game import (
 )
 from repro.models import ExponentialDecaySchedule
 
+logger = logging.getLogger(__name__)
+
+#: Participation floor used by :func:`run_history`. The Lemma-1 unbiased
+#: aggregator rescales each update by ``1/q_n``, so ``q_n = 0`` is undefined
+#: and tiny ``q_n`` would blow up the update variance; entries are clipped
+#: into ``[Q_MIN, 1]`` (with a logged warning when that changes anything).
+Q_MIN = 1e-4
+
 
 def default_schemes() -> List[PricingScheme]:
     """The paper's three compared schemes."""
     return [OptimalPricing(), WeightedPricing(), UniformPricing()]
+
+
+def _default_orchestrator():
+    from repro.experiments.orchestrator import ExperimentOrchestrator
+
+    return ExperimentOrchestrator(jobs=1)
 
 
 def run_history(
@@ -36,8 +58,28 @@ def run_history(
     *,
     seed: int = 0,
 ) -> TrainingHistory:
-    """One FL training run at participation vector ``q`` on the testbed."""
-    q = np.clip(np.asarray(q, dtype=float), 1e-4, 1.0)
+    """One FL training run at participation vector ``q`` on the testbed.
+
+    ``q`` is clipped into ``[Q_MIN, 1]`` (see :data:`Q_MIN`); when clipping
+    actually changes a value a warning is logged so biased-participation
+    configurations are not silently masked.
+    """
+    requested = np.asarray(q, dtype=float)
+    q = np.clip(requested, Q_MIN, 1.0)
+    changed = q != requested
+    if np.any(changed):
+        logger.warning(
+            "run_history: clipped %d of %d q entries into [%g, 1] "
+            "(requested range [%g, %g]); participation below %g is "
+            "undefined for the unbiased aggregator, so results at these "
+            "clients reflect the clipped probabilities",
+            int(changed.sum()),
+            requested.size,
+            Q_MIN,
+            float(requested.min()),
+            float(requested.max()),
+            Q_MIN,
+        )
     config = prepared.config
     child = prepared.rng_factory.child("run", str(seed))
     trainer = FederatedTrainer(
@@ -124,11 +166,15 @@ def run_pricing_comparison(
     repeats: Optional[int] = None,
     schemes: Optional[Sequence[PricingScheme]] = None,
     train: bool = True,
+    orchestrator=None,
 ) -> PricingComparison:
     """Compare pricing schemes on one prepared setup (the Fig.-4 engine).
 
     Each scheme's equilibrium participation vector is measured by
-    ``repeats`` independent FL runs on the simulated testbed.
+    ``repeats`` independent FL runs on the simulated testbed. Common random
+    numbers across schemes: seed ``s`` gives every scheme the same
+    participation-threshold and SGD-batch streams, so measured differences
+    reflect the allocation of ``q``, not luck.
 
     Args:
         prepared: Output of :func:`repro.experiments.setup.prepare_setup`.
@@ -136,28 +182,17 @@ def run_pricing_comparison(
         schemes: Pricing schemes (default: proposed, weighted, uniform).
         train: When ``False``, only the game layer runs (no FL training) —
             enough for Table V and equilibrium-only analyses.
+        orchestrator: An
+            :class:`~repro.experiments.orchestrator.ExperimentOrchestrator`
+            for parallel/cached execution; ``None`` runs serially uncached.
 
     Returns:
         Mapping scheme name to :class:`SchemeResult`.
     """
-    if repeats is None:
-        repeats = prepared.config.repeats
-    if schemes is None:
-        schemes = default_schemes()
-    results: PricingComparison = {}
-    for scheme in schemes:
-        outcome = scheme.apply(prepared.problem)
-        result = SchemeResult(outcome=outcome)
-        if train:
-            # Common random numbers across schemes: seed `s` gives every
-            # scheme the same participation-threshold and SGD-batch streams,
-            # so measured differences reflect the allocation of q, not luck.
-            for seed in range(repeats):
-                result.histories.append(
-                    run_history(prepared, outcome.q, seed=seed)
-                )
-        results[scheme.name] = result
-    return results
+    orchestrator = orchestrator or _default_orchestrator()
+    return orchestrator.run_comparison(
+        prepared, repeats=repeats, schemes=schemes, train=train
+    )
 
 
 @dataclass
@@ -174,20 +209,13 @@ def sweep_mean_value(
     *,
     repeats: int = 1,
     train: bool = True,
+    orchestrator=None,
 ) -> List[SweepPoint]:
     """Sweep the mean intrinsic value (Fig. 5 / Table V)."""
-    points = []
-    for mean_value in values:
-        variant = prepared.with_mean_value(mean_value)
-        outcome = OptimalPricing().apply(variant.problem)
-        result = SchemeResult(outcome=outcome)
-        if train:
-            for seed in range(repeats):
-                result.histories.append(
-                    run_history(variant, outcome.q, seed=seed)
-                )
-        points.append(SweepPoint(parameter=float(mean_value), result=result))
-    return points
+    orchestrator = orchestrator or _default_orchestrator()
+    return orchestrator.run_sweep(
+        prepared, "mean_value", values, repeats=repeats, train=train
+    )
 
 
 def sweep_mean_cost(
@@ -196,20 +224,13 @@ def sweep_mean_cost(
     *,
     repeats: int = 1,
     train: bool = True,
+    orchestrator=None,
 ) -> List[SweepPoint]:
     """Sweep the mean local cost (Fig. 6)."""
-    points = []
-    for mean_cost in costs:
-        variant = prepared.with_mean_cost(mean_cost)
-        outcome = OptimalPricing().apply(variant.problem)
-        result = SchemeResult(outcome=outcome)
-        if train:
-            for seed in range(repeats):
-                result.histories.append(
-                    run_history(variant, outcome.q, seed=seed)
-                )
-        points.append(SweepPoint(parameter=float(mean_cost), result=result))
-    return points
+    orchestrator = orchestrator or _default_orchestrator()
+    return orchestrator.run_sweep(
+        prepared, "mean_cost", costs, repeats=repeats, train=train
+    )
 
 
 def sweep_budget(
@@ -218,17 +239,10 @@ def sweep_budget(
     *,
     repeats: int = 1,
     train: bool = True,
+    orchestrator=None,
 ) -> List[SweepPoint]:
     """Sweep the server budget (Fig. 7)."""
-    points = []
-    for budget in budgets:
-        variant = prepared.with_budget(budget)
-        outcome = OptimalPricing().apply(variant.problem)
-        result = SchemeResult(outcome=outcome)
-        if train:
-            for seed in range(repeats):
-                result.histories.append(
-                    run_history(variant, outcome.q, seed=seed)
-                )
-        points.append(SweepPoint(parameter=float(budget), result=result))
-    return points
+    orchestrator = orchestrator or _default_orchestrator()
+    return orchestrator.run_sweep(
+        prepared, "budget", budgets, repeats=repeats, train=train
+    )

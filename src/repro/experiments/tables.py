@@ -130,24 +130,35 @@ def table4_rows(
 def table5_rows(
     prepared: PreparedSetup,
     mean_values: Sequence[float] = (0.0, 4_000.0, 80_000.0),
+    *,
+    orchestrator=None,
 ) -> List[List[object]]:
     """Table V: number of negative-payment clients per mean value.
 
     A pure game-layer computation (no training): for each mean value the
-    equilibrium is solved and clients with ``P_n < 0`` are counted.
+    equilibrium is solved and clients with ``P_n < 0`` are counted. With an
+    ``orchestrator``, the solves run as ``mean_value``-variant equilibrium
+    jobs in one DAG — parallel across values, and sharing the result store
+    with the Fig.-5 sweep (which solves the same points).
     """
-    rows = []
-    for mean_value in mean_values:
-        variant = prepared.with_mean_value(mean_value)
-        equilibrium = solve_cpl_game(variant.problem)
-        rows.append(
-            [
-                float(mean_value),
-                int(equilibrium.negative_payment_clients.size),
-                equilibrium.value_threshold,
-            ]
+    if orchestrator is not None:
+        points = orchestrator.run_sweep(
+            prepared, "mean_value", mean_values, train=False
         )
-    return rows
+        equilibria = [point.result.outcome.equilibrium for point in points]
+    else:
+        equilibria = [
+            solve_cpl_game(prepared.with_mean_value(mean_value).problem)
+            for mean_value in mean_values
+        ]
+    return [
+        [
+            float(mean_value),
+            int(equilibrium.negative_payment_clients.size),
+            equilibrium.value_threshold,
+        ]
+        for mean_value, equilibrium in zip(mean_values, equilibria)
+    ]
 
 
 def speedup_percentages(

@@ -1,4 +1,37 @@
-"""Federated learning engine: clients, participation, aggregation, training."""
+"""Federated learning engine: clients, participation, aggregation, training.
+
+Implements Sec. III-A of the paper: ``R`` communication rounds in which
+client ``n`` joins independently with probability ``q_n``, runs ``E`` local
+SGD steps, and the server aggregates with the inclusion-probability-
+corrected rule that keeps the global update unbiased for *any* ``q``.
+
+Public symbols and their paper correspondence:
+
+* :class:`FLClient` — local SGD worker (the ``E`` local iterations of
+  Algorithm 1's client side).
+* :class:`FLServer` — holds ``w^r`` and applies aggregated deltas.
+* :class:`FederatedTrainer` — the synchronous training loop producing one
+  Fig.-4 curve; wall-clock comes from a pluggable round timer (the
+  simulated Raspberry-Pi testbed of Sec. VI-A).
+* :class:`TrainingHistory` / :class:`RoundRecord` /
+  :func:`average_histories` — per-round records with the time-to-target
+  queries behind Tables II/III and the seed-averaged curves of Fig. 4.
+* :class:`Aggregator` / :class:`UnbiasedDeltaAggregator` — Lemma 1: scaling
+  participant ``n``'s delta by ``W_n / q_n`` makes the aggregate an
+  unbiased estimate of the full-participation update.
+* :class:`ParticipantsOnlyAggregator` / :class:`NaiveInverseAggregator` —
+  the biased baselines the unbiasedness ablation compares against.
+* :class:`ParticipationModel` / :class:`BernoulliParticipation` — the
+  paper's independent-Bernoulli(``q_n``) participation (Sec. III-A);
+  :class:`FullParticipation`, :class:`FixedSubsetParticipation`,
+  :class:`UniformSamplingParticipation`, and
+  :class:`IntermittentAvailabilityParticipation` cover the comparison
+  regimes from the partial-participation literature.
+* :func:`audit_participation` / :func:`empirical_participation_counts` /
+  :class:`AuditReport` / :class:`ClientAudit` — verify that realized
+  participation frequencies match the contracted ``q`` (the mechanism's
+  enforcement side).
+"""
 
 from repro.fl.aggregation import (
     Aggregator,

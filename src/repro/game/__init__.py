@@ -1,4 +1,52 @@
-"""The CPL (Client Participation Level) Stackelberg game — core contribution."""
+"""The CPL (Client Participation Level) Stackelberg game — core contribution.
+
+Implements Secs. IV-V of *Incentive Mechanism Design for Unbiased Federated
+Learning with Randomized Client Participation* (Luo et al., ICDCS 2023):
+the server posts per-client prices ``P_n`` (Stage I), each client best-
+responds with a participation level ``q_n`` (Stage II), and backward
+induction yields the Stackelberg equilibrium ``{P^SE, q^SE}``.
+
+Public symbols and their paper correspondence:
+
+* :class:`ClientPopulation` / :func:`sample_population` — the client
+  economy: weights ``W_n``, gradient bounds ``G_n``, participation costs
+  ``c_n``, intrinsic values ``v_n`` (Table I, Sec. VI-A).
+* :class:`DecoupledCost` / :func:`decoupled_costs` /
+  :func:`cost_parameters_from_testbed` — computation/communication cost
+  decomposition behind ``c_n`` (Sec. III-B).
+* :func:`surrogate_utility` — client utility ``U_n(q_n, P_n)`` under the
+  Theorem-1 convergence surrogate (Eq. 8a with Eq. 7's loss term).
+* :func:`best_response` / :func:`best_response_vector` — the Stage-II
+  maximizer ``q_n*(P_n)`` (Lemma 3 / Eq. 15).
+* :func:`inverse_price` — the Eq.-17 price that induces a target ``q_n``.
+* :class:`ServerProblem` — the Stage-I data: surrogate coefficients
+  ``alpha, beta``, horizon ``R``, budget ``B`` (Eq. 10's constraint set).
+* :class:`StageIResult` / :func:`solve_stage1_kkt` /
+  :func:`solve_stage1_msearch` — the Stage-I optimum; ``kkt`` bisects the
+  budget multiplier ``lambda*``, ``m-search`` is the paper's fixed-M convex
+  decomposition (Sec. V-B).
+* :func:`solve_cpl_game` / :class:`StackelbergEquilibrium` — backward
+  induction to ``{P^SE, q^SE}`` with the reporting quantities the analysis
+  highlights: ``lambda*``, the bi-directional-payment threshold
+  ``v_t = 1/(3 lambda*)`` (Theorem 3), and per-client payment directions.
+* :func:`server_utility` / :func:`population_utilities` — Eq. 9 and Eq. 8a
+  evaluated at a profile (Table IV's quantities).
+* :class:`PricingScheme` / :class:`OptimalPricing` /
+  :class:`WeightedPricing` / :class:`UniformPricing` /
+  :func:`compare_schemes` / :func:`evaluate_posted_prices` /
+  :class:`PricingOutcome` — the proposed mechanism vs the paper's two
+  budget-matched benchmarks ``P^w`` (datasize-weighted) and ``P^u``
+  (uniform), Sec. VI-B.
+* :func:`theorem2_invariant` / :func:`predicted_prices` — Theorem 2's
+  closed-form SE price structure.
+* :func:`value_threshold` / :func:`interior_mask` /
+  :func:`check_proposition1` / :func:`corollary1_violations` /
+  :class:`MonotonicityReport` — Proposition 1 / Corollary 1 monotonicity
+  and the Theorem-3 threshold used by Table V.
+* :func:`bayesian_outcome` / :func:`expected_profile_prices` /
+  :func:`monte_carlo_prices` — the incomplete-information extension
+  (Sec. V-C).
+"""
 
 from repro.game.bayesian import (
     bayesian_outcome,

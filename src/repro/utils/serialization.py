@@ -1,16 +1,32 @@
-"""JSON persistence for configs and experiment artifacts.
+"""JSON persistence and compact codecs for experiment artifacts.
 
 Experiment outputs (equilibria, training histories, table rows) are plain
 dataclasses and numpy arrays; :func:`to_jsonable` converts them to built-in
 types so results can be archived and diffed as text.
+
+Two further families of helpers serve the content-addressed result store in
+:mod:`repro.experiments.orchestrator`:
+
+* :func:`canonical_dumps` / :func:`content_address` — a *stable* JSON
+  encoding (sorted keys, no whitespace) and its SHA-256 digest, used as the
+  cache key. Python's ``repr`` of a float is its shortest round-tripping
+  decimal, so float-bearing keys are bit-stable across processes and runs.
+* ``*_to_doc`` / ``*_from_doc`` — compact, lossless codecs for
+  :class:`~repro.fl.history.TrainingHistory` (columnar),
+  :class:`~repro.game.pricing.PricingOutcome`, and
+  :class:`~repro.game.equilibrium.StackelbergEquilibrium`. Decoding yields
+  objects equal to the originals (all floats round-trip exactly through
+  JSON), which is what makes cached and freshly-computed results
+  interchangeable.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 import numpy as np
 
@@ -63,3 +79,171 @@ def load_json(path: PathLike) -> Any:
     """Load a JSON document written by :func:`save_json`."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+# Canonical hashing (cache keys) ---------------------------------------------
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize ``obj`` to a canonical JSON string.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    documents always produce the same bytes — the property cache keys need.
+    """
+    return json.dumps(
+        to_jsonable(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+def content_address(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``obj``."""
+    return hashlib.sha256(canonical_dumps(obj).encode("utf-8")).hexdigest()
+
+
+# Compact artifact codecs ----------------------------------------------------
+
+
+def history_to_doc(history: Any) -> dict:
+    """Encode a :class:`~repro.fl.history.TrainingHistory` columnarly.
+
+    Each :class:`~repro.fl.history.RoundRecord` field becomes one list, so
+    the document compresses well and decodes without per-record dict
+    overhead. ``participants`` tuples become lists (``None`` stays ``None``).
+    """
+    records = history.records
+    return {
+        "format": "history/v1",
+        "round_index": [r.round_index for r in records],
+        "sim_time": [r.sim_time for r in records],
+        "num_participants": [r.num_participants for r in records],
+        "step_size": [r.step_size for r in records],
+        "global_loss": [r.global_loss for r in records],
+        "test_loss": [r.test_loss for r in records],
+        "test_accuracy": [r.test_accuracy for r in records],
+        "participants": [
+            None if r.participants is None else list(r.participants)
+            for r in records
+        ],
+    }
+
+
+def history_from_doc(doc: dict) -> Any:
+    """Decode :func:`history_to_doc` output back to a ``TrainingHistory``."""
+    from repro.fl.history import RoundRecord, TrainingHistory
+
+    if doc.get("format") != "history/v1":
+        raise ValueError(f"not a history document: {doc.get('format')!r}")
+    history = TrainingHistory()
+    for i in range(len(doc["round_index"])):
+        participants = doc["participants"][i]
+        history.append(
+            RoundRecord(
+                round_index=int(doc["round_index"][i]),
+                sim_time=float(doc["sim_time"][i]),
+                num_participants=int(doc["num_participants"][i]),
+                step_size=float(doc["step_size"][i]),
+                global_loss=_opt_float(doc["global_loss"][i]),
+                test_loss=_opt_float(doc["test_loss"][i]),
+                test_accuracy=_opt_float(doc["test_accuracy"][i]),
+                participants=(
+                    None
+                    if participants is None
+                    else tuple(int(p) for p in participants)
+                ),
+            )
+        )
+    return history
+
+
+def equilibrium_to_doc(equilibrium: Any) -> dict:
+    """Encode a ``StackelbergEquilibrium`` without its (heavy) problem.
+
+    The problem is contextual — the orchestrator reattaches it on decode
+    from the prepared setup the job ran against.
+    """
+    return {
+        "format": "equilibrium/v1",
+        "q": equilibrium.q.tolist(),
+        "prices": equilibrium.prices.tolist(),
+        "lambda_star": float(equilibrium.lambda_star),
+        "objective_gap": float(equilibrium.objective_gap),
+        "spending": float(equilibrium.spending),
+        "budget_tight": bool(equilibrium.budget_tight),
+        "method": equilibrium.method,
+    }
+
+
+def equilibrium_from_doc(doc: dict, problem: Any) -> Any:
+    """Decode :func:`equilibrium_to_doc` output, reattaching ``problem``."""
+    from repro.game.equilibrium import StackelbergEquilibrium
+
+    if doc.get("format") != "equilibrium/v1":
+        raise ValueError(
+            f"not an equilibrium document: {doc.get('format')!r}"
+        )
+    return StackelbergEquilibrium(
+        problem=problem,
+        q=np.asarray(doc["q"], dtype=float),
+        prices=np.asarray(doc["prices"], dtype=float),
+        lambda_star=float(doc["lambda_star"]),
+        objective_gap=float(doc["objective_gap"]),
+        spending=float(doc["spending"]),
+        budget_tight=bool(doc["budget_tight"]),
+        method=str(doc["method"]),
+    )
+
+
+def outcome_to_doc(outcome: Any) -> dict:
+    """Encode a :class:`~repro.game.pricing.PricingOutcome`."""
+    return {
+        "format": "outcome/v1",
+        "scheme": outcome.scheme,
+        "prices": outcome.prices.tolist(),
+        "q": outcome.q.tolist(),
+        "spending": float(outcome.spending),
+        "objective_gap": float(outcome.objective_gap),
+        "expected_loss": float(outcome.expected_loss),
+        "client_utilities": outcome.client_utilities.tolist(),
+        "equilibrium": (
+            None
+            if outcome.equilibrium is None
+            else equilibrium_to_doc(outcome.equilibrium)
+        ),
+    }
+
+
+def outcome_from_doc(doc: dict, problem: Optional[Any] = None) -> Any:
+    """Decode :func:`outcome_to_doc` output.
+
+    Args:
+        doc: The encoded outcome.
+        problem: The :class:`~repro.game.server_problem.ServerProblem` the
+            outcome was computed for; required to rebuild the nested
+            equilibrium (ignored when the outcome carries none).
+    """
+    from repro.game.pricing import PricingOutcome
+
+    if doc.get("format") != "outcome/v1":
+        raise ValueError(f"not an outcome document: {doc.get('format')!r}")
+    equilibrium = None
+    if doc["equilibrium"] is not None:
+        if problem is None:
+            raise ValueError(
+                "outcome document carries an equilibrium; pass the problem "
+                "it was solved on"
+            )
+        equilibrium = equilibrium_from_doc(doc["equilibrium"], problem)
+    return PricingOutcome(
+        scheme=str(doc["scheme"]),
+        prices=np.asarray(doc["prices"], dtype=float),
+        q=np.asarray(doc["q"], dtype=float),
+        spending=float(doc["spending"]),
+        objective_gap=float(doc["objective_gap"]),
+        expected_loss=float(doc["expected_loss"]),
+        client_utilities=np.asarray(doc["client_utilities"], dtype=float),
+        equilibrium=equilibrium,
+    )
+
+
+def _opt_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)
