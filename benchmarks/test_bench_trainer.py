@@ -1,0 +1,116 @@
+"""Trainer-backend benchmark: loop vs vectorized local SGD.
+
+Two measurements are archived:
+
+* ``bench_trainer.json`` — the ``bench trainer`` CLI verb run at the
+  session's scale profile: cold Fig.-4 training runs per backend
+  (order-alternated, best-of-2) plus the bit-identity verdict.
+* ``bench_trainer_kernel_sweep.json`` — the kernel-level stack-size
+  sweep: wall-time per SGD step for the scalar per-client loop vs one
+  stacked ``batched_sgd_steps`` call, across stack sizes. This isolates
+  the engine from evaluation/simulation overheads and shows how the
+  speedup scales with participants per round.
+
+The container is a single shared vCPU, so speedups are *reported*, not
+asserted (the same policy as the orchestrator bench); bit-identity is
+asserted, because it is load-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.configs import resolve_scale
+from repro.models import MultinomialLogisticRegression
+from repro.models.optim import sgd_steps
+
+
+def test_bench_trainer_verb(bench_results_dir):
+    """Run the CLI verb end to end; exit 0 asserts bit-identity."""
+    scale = resolve_scale()
+    exit_code = cli_main(
+        [
+            "--scale", scale.name,
+            "--out", str(bench_results_dir),
+            "bench", "trainer",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(
+        (bench_results_dir / "bench_trainer.json").read_text()
+    )
+    assert payload["identical"] is True
+    print(
+        f"\nbench trainer ({scale.name}): loop {payload['loop_s']:.2f}s, "
+        f"vectorized {payload['vectorized_s']:.2f}s, "
+        f"speedup {payload['speedup']:.2f}x"
+    )
+
+
+def test_kernel_stack_size_sweep(bench_results_dir):
+    """Per-step engine cost vs stack size, loop vs batched kernels."""
+    rng = np.random.default_rng(0)
+    batch, dim, classes, steps = 24, 60, 10, 40
+    model = MultinomialLogisticRegression(dim, classes, l2=1e-2)
+    rows = []
+    for stack_size in (4, 8, 16, 32):
+        total = stack_size * 560
+        features = rng.normal(size=(total, dim))
+        labels = rng.integers(0, classes, size=total)
+        bounds = np.linspace(0, total, stack_size + 1).astype(int)
+        indices = np.stack(
+            [
+                rng.integers(bounds[k], bounds[k + 1], size=(steps, batch))
+                for k in range(stack_size)
+            ]
+        )
+        stack = rng.normal(size=(stack_size, model.num_params)) * 0.01
+
+        start = time.perf_counter()
+        batched = model.batched_sgd_steps(
+            stack, features, labels, indices, step_size=0.05
+        )
+        vectorized_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        looped = np.stack(
+            [
+                sgd_steps(
+                    model,
+                    stack[k],
+                    features[bounds[k]:bounds[k + 1]],
+                    labels[bounds[k]:bounds[k + 1]],
+                    step_size=0.05,
+                    num_steps=steps,
+                    batch_size=batch,
+                    rng=np.random.default_rng(k),
+                )
+                for k in range(stack_size)
+            ]
+        )
+        loop_s = time.perf_counter() - start
+        # The loop reference redraws its own indices, so equality is not
+        # expected here — the trainer-level equivalence tests pin that.
+        # What this sweep reports is pure engine cost.
+        assert batched.shape == looped.shape
+        rows.append(
+            {
+                "stack_size": stack_size,
+                "loop_us_per_step": loop_s / steps * 1e6,
+                "vectorized_us_per_step": vectorized_s / steps * 1e6,
+                "speedup": loop_s / vectorized_s,
+            }
+        )
+        print(
+            f"\nstack={stack_size:3d}: loop "
+            f"{rows[-1]['loop_us_per_step']:8.1f} us/step, vectorized "
+            f"{rows[-1]['vectorized_us_per_step']:7.1f} us/step, "
+            f"speedup {rows[-1]['speedup']:.2f}x"
+        )
+    (bench_results_dir / "bench_trainer_kernel_sweep.json").write_text(
+        json.dumps({"rows": rows}, indent=2, sort_keys=True) + "\n"
+    )

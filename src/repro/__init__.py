@@ -47,7 +47,10 @@ from repro.models import MultinomialLogisticRegression
 from repro.simulation import TestbedRuntime, build_testbed
 from repro.theory import ConvergenceBound, ProblemConstants
 
-__version__ = "1.0.0"
+# 1.1.0: evaluation metrics moved to a single stacked pass (per-shard loss
+# values can shift by ~1 ulp), so the cache-key code component is bumped and
+# pre-1.1 result-store entries recompute rather than mix numerics.
+__version__ = "1.1.0"
 
 
 def quickstart_equilibrium(

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Sequence
 
 import numpy as np
@@ -70,9 +71,19 @@ class FederatedDataset:
         """Total training samples across all clients."""
         return int(self.sizes.sum())
 
-    def pooled_train(self) -> Dataset:
-        """All client shards concatenated (the full-participation objective)."""
+    @cached_property
+    def _pooled(self) -> Dataset:
         return concatenate(self.client_datasets)
+
+    def pooled_train(self) -> Dataset:
+        """All client shards concatenated (the full-participation objective).
+
+        Cached after the first call: evaluation's stacked metric pass reads
+        it every round. Shard arrays are treated as immutable throughout
+        the library; mutating one in place after pooling would desynchronize
+        the cache.
+        """
+        return self._pooled
 
     def summary(self) -> Dict[str, object]:
         """Dataset statistics for logging and EXPERIMENTS.md records."""

@@ -12,15 +12,21 @@ Verbs and their paper correspondence:
   game (Sec. V), printed per client.
 * ``cache {stats,clear}`` — inspect or empty the content-addressed result
   store (requires ``--cache-dir``).
-* ``bench`` — serial vs parallel wall-clock on the Fig.-4 grid, plus a
-  warm-cache re-run, verifying the orchestrator's determinism contract.
+* ``bench [orchestrator]`` — serial vs parallel wall-clock on the Fig.-4
+  grid, plus a warm-cache re-run, verifying the orchestrator's determinism
+  contract.
+* ``bench trainer`` — loop vs vectorized local-SGD engine wall-clock on
+  the Fig.-4 workload, verifying the backends' bit-identical histories and
+  archiving ``benchmarks/results/bench/bench_trainer.json``.
 
 Parallelism and caching apply to every experiment verb (``table``, ``fig``,
 ``equilibrium``): ``--jobs N`` fans independent equilibrium/training jobs
 across ``N`` worker processes and ``--cache-dir DIR`` memoizes each job on
 disk (see :mod:`repro.experiments.orchestrator`). ``bench`` honors
 ``--jobs`` but always measures against a fresh private store. Results are
-bit-identical to a serial, uncached run for the same ``--seed``.
+bit-identical to a serial, uncached run for the same ``--seed`` — and to
+either ``--backend`` (vectorized is the default; ``loop`` is the reference
+per-client engine).
 
 Examples::
 
@@ -29,6 +35,7 @@ Examples::
     python -m repro.experiments --jobs 4 --cache-dir ~/.repro-cache fig --id 4
     python -m repro.experiments --cache-dir ~/.repro-cache cache stats
     python -m repro.experiments --jobs 4 bench
+    python -m repro.experiments --scale bench bench trainer
 
 Artifacts are printed to stdout and, with ``--out``, archived as JSON/CSV.
 """
@@ -115,6 +122,12 @@ def _add_common_options(
         "--cache-dir", type=Path, default=default(None),
         help="content-addressed result store; re-runs become near-instant",
     )
+    parser.add_argument(
+        "--backend", choices=("vectorized", "loop"),
+        default=default("vectorized"),
+        help="trainer local-SGD engine (bit-identical results; "
+        "'loop' is the slow reference path)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -158,7 +171,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = add_verb(
         "bench",
-        help="serial vs parallel wall-clock on the Fig.-4 grid",
+        help="benchmark the orchestrator or the trainer backends",
+    )
+    bench.add_argument(
+        "target", nargs="?", choices=("orchestrator", "trainer"),
+        default="orchestrator",
+        help="orchestrator: serial vs parallel wall-clock on the Fig.-4 "
+        "grid; trainer: loop vs vectorized local-SGD engines on the "
+        "Fig.-4 workload",
     )
     bench.add_argument(
         "--repeats", type=int, default=None,
@@ -175,9 +195,15 @@ def _prepared(args):
 
 def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
     """Build the orchestrator the global flags ask for (None = default)."""
-    if args.jobs == 1 and args.cache_dir is None:
+    if (
+        args.jobs == 1
+        and args.cache_dir is None
+        and args.backend == "vectorized"
+    ):
         return None
-    return ExperimentOrchestrator(jobs=args.jobs, cache_dir=args.cache_dir)
+    return ExperimentOrchestrator(
+        jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend
+    )
 
 
 def _cmd_table(args) -> int:
@@ -316,6 +342,115 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_bench_trainer(args) -> int:
+    """Benchmark the trainer backends on the Fig.-4 workload.
+
+    Solves the proposed scheme's equilibrium once, then times full cold
+    training runs at the equilibrium participation vector under each
+    backend (order alternated across ``--repeats`` repetitions, best time
+    kept), verifies every history is bit-identical, and archives
+    wall-times + speedup as JSON (default:
+    ``benchmarks/results/bench/bench_trainer.json`` at the bench scale —
+    the artifact the README perf table tracks — and
+    ``bench_trainer_<scale>.json`` otherwise, so other scales never
+    clobber it). This measures pure vectorization on one core, not
+    parallelism.
+    """
+    import numpy as np
+
+    from repro.experiments.runner import run_history
+    from repro.game import OptimalPricing
+
+    prepared = _prepared(args)
+    q = OptimalPricing().apply(prepared.problem).q
+
+    # Shared hosts throttle under sustained load, which would bias
+    # whichever backend happens to run second. Alternate the order across
+    # repetitions and take each backend's best time (the timeit
+    # estimator): the minimum is the least-interfered measurement of the
+    # same deterministic computation.
+    repeats = args.repeats or 2
+    times = {"loop": [], "vectorized": []}
+    histories = {}
+    for repetition in range(repeats):
+        order = ("loop", "vectorized")
+        if repetition % 2:
+            order = ("vectorized", "loop")
+        for backend in order:
+            start = time.perf_counter()
+            history = run_history(
+                prepared, q, seed=args.seed, backend=backend
+            )
+            times[backend].append(time.perf_counter() - start)
+            previous = histories.setdefault(backend, history)
+            if previous.records != history.records:
+                raise AssertionError(
+                    f"{backend} backend is not deterministic across reps"
+                )
+
+    loop_s = min(times["loop"])
+    vectorized_s = min(times["vectorized"])
+    identical = (
+        histories["loop"].records == histories["vectorized"].records
+    )
+    rounds = prepared.config.num_rounds
+    speedup = loop_s / vectorized_s if vectorized_s > 0 else float("inf")
+    rows = [
+        ["loop", loop_s, rounds / loop_s, 1.0],
+        ["vectorized", vectorized_s, rounds / vectorized_s, speedup],
+    ]
+    print(
+        render_table(
+            ["backend", "wall-clock s", "rounds/s", "speedup vs loop"],
+            rows,
+            title=(
+                f"Fig.-4 workload ({args.setup}, scale "
+                f"{prepared.scale.name}: {prepared.config.num_clients} "
+                f"clients x {rounds} rounds x "
+                f"{prepared.config.local_steps} local steps)"
+            ),
+            float_format=",.3f",
+        )
+    )
+    print(f"loop == vectorized (bit-identical histories): {identical}")
+    if args.out:
+        out_dir, filename = args.out, "bench_trainer.json"
+    else:
+        # The default archive location is the bench-scale artifact the
+        # README perf table tracks; other scales get a suffixed filename
+        # so a ci/paper run never clobbers it.
+        out_dir = Path("benchmarks") / "results" / "bench"
+        filename = (
+            "bench_trainer.json"
+            if prepared.scale.name == "bench"
+            else f"bench_trainer_{prepared.scale.name}.json"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    save_json(
+        {
+            "setup": args.setup,
+            "scale": prepared.scale.name,
+            "seed": args.seed,
+            "repeats": repeats,
+            "num_clients": prepared.config.num_clients,
+            "num_rounds": rounds,
+            "local_steps": prepared.config.local_steps,
+            "batch_size": prepared.config.batch_size,
+            "mean_participants": float(np.clip(q, 0.0, 1.0).sum()),
+            "loop_s": loop_s,
+            "vectorized_s": vectorized_s,
+            "loop_s_all": times["loop"],
+            "vectorized_s_all": times["vectorized"],
+            "loop_rounds_per_s": rounds / loop_s,
+            "vectorized_rounds_per_s": rounds / vectorized_s,
+            "speedup": speedup,
+            "identical": identical,
+        },
+        out_dir / filename,
+    )
+    return 0 if identical else 1
+
+
 def _cmd_bench(args) -> int:
     """Benchmark the orchestrator on the Fig.-4 grid (3 schemes x repeats).
 
@@ -341,12 +476,15 @@ def _cmd_bench(args) -> int:
         )
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
     try:
+        serial_orch = ExperimentOrchestrator(jobs=1, backend=args.backend)
         start = time.perf_counter()
-        serial, _ = fig4_grid(prepared, repeats=repeats)
+        serial, _ = fig4_grid(
+            prepared, repeats=repeats, orchestrator=serial_orch
+        )
         serial_s = time.perf_counter() - start
 
         cold_orch = ExperimentOrchestrator(
-            jobs=args.jobs, cache_dir=cache_dir
+            jobs=args.jobs, cache_dir=cache_dir, backend=args.backend
         )
         start = time.perf_counter()
         parallel, _ = fig4_grid(
@@ -355,7 +493,7 @@ def _cmd_bench(args) -> int:
         parallel_s = time.perf_counter() - start
 
         warm_orch = ExperimentOrchestrator(
-            jobs=args.jobs, cache_dir=cache_dir
+            jobs=args.jobs, cache_dir=cache_dir, backend=args.backend
         )
         start = time.perf_counter()
         warm, _ = fig4_grid(prepared, repeats=repeats, orchestrator=warm_orch)
@@ -454,6 +592,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "bench":
+        if args.target == "trainer":
+            return _cmd_bench_trainer(args)
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 

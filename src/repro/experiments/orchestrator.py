@@ -46,7 +46,10 @@ where ``code`` is ``repro.__version__`` (bump it when numerics change),
 ``with_budget``/``with_mean_value``-derived setup never shares keys with
 its base. Train jobs are keyed by the *full* ``q`` vector rather than the
 scheme that produced it, so two schemes or sweep points that induce the
-same participation share one cached run. Within a single graph run,
+same participation share one cached run. The trainer *backend*
+(vectorized vs loop) is excluded from the key on purpose: both engines
+produce bit-identical histories, so a store populated under either backend
+serves the other. Within a single graph run,
 duplicate keys are coalesced in memory — onto one pool submission while in
 flight, and onto the already-decoded result afterwards — so the sharing
 holds even without an on-disk store.
@@ -179,10 +182,16 @@ class TrainJob:
     ``q`` is stored as a tuple of exact floats: it *is* the job's identity
     (training never reads the economic problem), so identical vectors from
     different schemes or sweep points dedupe to one cached run.
+
+    ``backend`` picks the trainer's local-SGD engine. It is deliberately
+    **not** part of :meth:`key_fields`: the vectorized and loop engines
+    produce bit-identical histories, so a result cached under one backend
+    is the other's result too — switching backends must not fork the cache.
     """
 
     q: Tuple[float, ...]
     seed: int
+    backend: str = "vectorized"
 
     kind = "train"
 
@@ -405,7 +414,10 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
         from repro.experiments.runner import run_history
 
         history = run_history(
-            prepared, np.asarray(spec.q, dtype=float), seed=spec.seed
+            prepared,
+            np.asarray(spec.q, dtype=float),
+            seed=spec.seed,
+            backend=spec.backend,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
@@ -445,6 +457,10 @@ class ExperimentOrchestrator:
         cache_dir: Directory for the content-addressed result store; when
             ``None``, nothing is persisted and every job recomputes.
         store: Pre-built store (overrides ``cache_dir``); mainly for tests.
+        backend: Local-SGD engine for the train jobs this orchestrator
+            builds (``"vectorized"`` or ``"loop"``). Results are
+            bit-identical either way, so the choice never enters cache
+            keys — it only changes how fast misses compute.
     """
 
     def __init__(
@@ -453,10 +469,12 @@ class ExperimentOrchestrator:
         cache_dir: "os.PathLike[str] | str | None" = None,
         *,
         store: Optional[ResultStore] = None,
+        backend: str = "vectorized",
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
+        self.backend = backend
         if store is not None:
             self.store = store
         elif cache_dir is not None:
@@ -723,7 +741,7 @@ class ExperimentOrchestrator:
                             JobNode(
                                 name=f"train/{scheme.name}/{seed}",
                                 build=lambda _, q=q_vector, s=seed: TrainJob(
-                                    q=q, seed=s
+                                    q=q, seed=s, backend=self.backend
                                 ),
                             )
                         )
@@ -738,6 +756,7 @@ class ExperimentOrchestrator:
                                             float(v) for v in results[e].q
                                         ),
                                         seed=s,
+                                        backend=self.backend,
                                     )
                                 ),
                             )
@@ -799,6 +818,7 @@ class ExperimentOrchestrator:
                                     float(v) for v in results[e].q
                                 ),
                                 seed=s,
+                                backend=self.backend,
                             ),
                         )
                     )

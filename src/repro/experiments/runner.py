@@ -57,12 +57,17 @@ def run_history(
     q: Sequence[float],
     *,
     seed: int = 0,
+    backend: str = "vectorized",
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
 
     ``q`` is clipped into ``[Q_MIN, 1]`` (see :data:`Q_MIN`); when clipping
     actually changes a value a warning is logged so biased-participation
     configurations are not silently masked.
+
+    ``backend`` selects the trainer's local-SGD engine (``"vectorized"`` or
+    ``"loop"``); histories are bit-identical either way, so the choice is
+    purely a performance knob and is excluded from orchestrator cache keys.
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
@@ -94,6 +99,7 @@ def run_history(
         round_timer=prepared.runtime.round_timer(),
         eval_every=prepared.eval_every,
         rng_factory=child,
+        backend=backend,
     )
     return trainer.run(config.num_rounds)
 

@@ -12,7 +12,10 @@ Public symbols and their paper correspondence:
 * :class:`FLServer` — holds ``w^r`` and applies aggregated deltas.
 * :class:`FederatedTrainer` — the synchronous training loop producing one
   Fig.-4 curve; wall-clock comes from a pluggable round timer (the
-  simulated Raspberry-Pi testbed of Sec. VI-A).
+  simulated Raspberry-Pi testbed of Sec. VI-A). Local SGD executes on a
+  ``backend``: ``"vectorized"`` (default) stacks every participant's
+  round into batched model kernels, ``"loop"`` is the per-client
+  reference; both produce bit-identical histories.
 * :class:`TrainingHistory` / :class:`RoundRecord` /
   :func:`average_histories` — per-round records with the time-to-target
   queries behind Tables II/III and the seed-averaged curves of Fig. 4.

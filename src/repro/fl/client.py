@@ -50,6 +50,11 @@ class FLClient:
         """Local dataset size ``d_n``."""
         return len(self.dataset)
 
+    @property
+    def effective_batch_size(self) -> int:
+        """Mini-batch width actually drawn (capped by the shard size)."""
+        return min(self.batch_size, len(self.dataset))
+
     def local_update(
         self, global_params: np.ndarray, *, step_size: float, num_steps: int
     ) -> np.ndarray:
@@ -65,6 +70,24 @@ class FLClient:
             rng=self._rng,
         )
 
+    def draw_batch_indices(self, num_steps: int) -> np.ndarray:
+        """Draw one round's mini-batch indices from this client's stream.
+
+        Returns a ``(num_steps, effective_batch_size)`` integer matrix —
+        the exact draw :func:`repro.models.optim.sgd_steps` would make, as
+        one generator call. The vectorized trainer backend pre-draws these
+        per client so stacking the SGD math across clients consumes the
+        same random numbers, in the same per-client streams, as the
+        per-client loop backend (the determinism contract).
+        """
+        if num_steps < 1:
+            raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+        return self._rng.integers(
+            0,
+            len(self.dataset),
+            size=(num_steps, self.effective_batch_size),
+        )
+
     def sample_gradient_norms(
         self,
         params: np.ndarray,
@@ -75,17 +98,20 @@ class FLClient:
 
         The paper estimates ``G_n`` by having participating clients report
         the norms of the stochastic gradients computed along the training
-        trajectory; this is the client-side half of that protocol.
+        trajectory; this is the client-side half of that protocol. All
+        ``num_samples`` gradients are evaluated as one batched-model call;
+        the per-row norms match the historical per-gradient loop bitwise.
         """
-        norms = np.empty(num_samples)
         data_size = len(self.dataset)
         batch = min(self.batch_size, data_size)
         indices = self._rng.integers(0, data_size, size=(num_samples, batch))
+        params = np.asarray(params, dtype=float)
+        gradients = self.model.batched_gradient(
+            np.repeat(params[None, :], num_samples, axis=0),
+            self.dataset.features[indices],
+            self.dataset.labels[indices],
+        )
+        norms = np.empty(num_samples)
         for row in range(num_samples):
-            grad = self.model.gradient(
-                params,
-                self.dataset.features[indices[row]],
-                self.dataset.labels[indices[row]],
-            )
-            norms[row] = np.linalg.norm(grad)
+            norms[row] = np.linalg.norm(gradients[row])
         return norms

@@ -4,6 +4,13 @@ The paper's experiments use L2-regularized multinomial logistic regression,
 which is L-smooth and mu-strongly convex — exactly Assumption 1. A ridge
 regression model is also provided because its closed-form optimum makes it
 ideal for exact convergence tests of the FL engine.
+
+Both models implement the batched :class:`~repro.models.base.Model` API with
+stacked ``np.matmul`` kernels. Stacked matmul dispatches the same BLAS GEMM
+per 2-D slice as the scalar path does per call, so ``batched_gradient`` /
+``batched_loss`` are **bit-identical** to looping :meth:`gradient` /
+:meth:`loss` over the slices — the property the vectorized FL backend's
+determinism contract rests on (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -13,13 +20,21 @@ from typing import Tuple
 import numpy as np
 
 from repro.models.base import Model
-from repro.utils.validation import check_nonnegative, check_positive
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+)
 
 
 def _softmax(logits: np.ndarray) -> np.ndarray:
+    # The normalizer uses einsum rather than ndarray.sum: einsum's
+    # sum-of-products loop is markedly cheaper on small arrays, and its
+    # per-row accumulation is identical between one (batch, classes) slice
+    # and a stacked (tasks, batch, classes) call — which is what keeps the
+    # scalar gradient bit-identical to the batched kernels below.
     shifted = logits - logits.max(axis=1, keepdims=True)
     exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return exp / np.einsum("bc->b", exp)[:, None]
 
 
 class MultinomialLogisticRegression(Model):
@@ -46,6 +61,9 @@ class MultinomialLogisticRegression(Model):
         self.num_features = int(num_features)
         self.num_classes = int(num_classes)
         self.l2 = check_positive(l2, "l2")
+        # Per-(num_tasks, batch) scratch buffers for the fused SGD kernel;
+        # purely a cache, never semantic state.
+        self._sgd_workspace: dict = {}
 
     @property
     def num_params(self) -> int:
@@ -81,13 +99,172 @@ class MultinomialLogisticRegression(Model):
         probabilities[np.arange(len(labels)), labels] -= 1.0
         probabilities /= len(labels)
         grad_weight = probabilities.T @ features
-        grad_bias = probabilities.sum(axis=0)
+        grad_bias = np.einsum("bc->c", probabilities)
         grad = np.concatenate([grad_weight.ravel(), grad_bias])
         grad += self.l2 * self._check_params(params)
         return grad
 
     def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
         return self._logits(params, features).argmax(axis=1)
+
+    def sample_losses(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        logits = self._logits(params, features)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return -log_probs[np.arange(len(labels)), labels]
+
+    def penalty(self, params: np.ndarray) -> float:
+        params = self._check_params(params)
+        return float(0.5 * self.l2 * params @ params)
+
+    def _unpack_stack(
+        self, params_stack: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Validate the stack once and return ``(stack, weight, bias)``."""
+        params_stack = self._check_params_stack(params_stack)
+        split = self.num_classes * self.num_features
+        weight = params_stack[:, :split].reshape(
+            -1, self.num_classes, self.num_features
+        )
+        bias = params_stack[:, split:]
+        return params_stack, weight, bias
+
+    @staticmethod
+    def _batched_logits(
+        weight: np.ndarray, bias: np.ndarray, features: np.ndarray
+    ) -> np.ndarray:
+        return np.matmul(features, weight.transpose(0, 2, 1)) + bias[:, None, :]
+
+    def batched_loss(
+        self,
+        params_stack: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        params_stack, weight, bias = self._unpack_stack(params_stack)
+        logits = self._batched_logits(weight, bias, features)
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        log_probs = shifted - np.log(
+            np.exp(shifted).sum(axis=2, keepdims=True)
+        )
+        num_tasks, batch = labels.shape
+        selected = log_probs[
+            np.arange(num_tasks)[:, None], np.arange(batch)[None, :], labels
+        ]
+        nll = -selected.mean(axis=1)
+        return nll + np.array(
+            [0.5 * self.l2 * row @ row for row in params_stack]
+        )
+
+    def batched_gradient(
+        self,
+        params_stack: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        params_stack, weight, bias = self._unpack_stack(params_stack)
+        logits = self._batched_logits(weight, bias, features)
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        exp = np.exp(shifted)
+        probabilities = exp / np.einsum("kbc->kb", exp)[..., None]
+        num_tasks, batch = labels.shape
+        probabilities[
+            np.arange(num_tasks)[:, None], np.arange(batch)[None, :], labels
+        ] -= 1.0
+        probabilities /= batch
+        grad_weight = np.matmul(probabilities.transpose(0, 2, 1), features)
+        grad_bias = np.einsum("kbc->kc", probabilities)
+        grad = np.concatenate(
+            [grad_weight.reshape(num_tasks, -1), grad_bias], axis=1
+        )
+        grad += self.l2 * params_stack
+        return grad
+
+    def batched_sgd_steps(
+        self,
+        params_stack: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_indices: np.ndarray,
+        *,
+        step_size: float,
+    ) -> np.ndarray:
+        """Fused round of stacked local SGD (see the base-class contract).
+
+        The per-step math is the scalar :meth:`gradient` op-for-op —
+        stacked matmuls, the same softmax-shift sequence, the same
+        ``l2``-then-update additions — but every buffer is allocated once
+        per round and reused with ``out=``, the weight/bias blocks are
+        strided *views* into the parameter stack (so the SGD update lands
+        in place), and each step's label positions are precomputed as flat
+        offsets. All of these transformations are value-preserving, so the
+        result stays bit-identical to the per-client loop; the test suite
+        pins that.
+        """
+        check_positive(step_size, "step_size")
+        num_tasks, num_steps, batch = batch_indices.shape
+        split = self.num_classes * self.num_features
+        # One workspace per batch width (in practice one or two widths per
+        # federation), sized to the largest stack seen and sliced for
+        # smaller ones — bounded memory even when the per-round
+        # participant count varies over many values.
+        work = self._sgd_workspace.get(batch)
+        if work is None or work["capacity"] < num_tasks:
+            work = {
+                "capacity": num_tasks,
+                "current": np.empty((num_tasks, self.num_params)),
+                "logits": np.empty((num_tasks, batch, self.num_classes)),
+                "reduced": np.empty((num_tasks, batch, 1)),
+                "gradient": np.empty((num_tasks, self.num_params)),
+                "scratch": np.empty((num_tasks, self.num_params)),
+                "base": self.num_classes * np.arange(num_tasks * batch),
+            }
+            self._sgd_workspace[batch] = work
+        current = work["current"][:num_tasks]
+        np.copyto(current, self._check_params_stack(params_stack))
+        weight_t = current[:, :split].reshape(
+            num_tasks, self.num_classes, self.num_features
+        ).transpose(0, 2, 1)
+        bias = current[:, split:][:, None, :]
+        # One gather for the round's labels, turned into flat positions of
+        # each step's true-label logits inside ``logits.ravel()``.
+        label_steps = labels[batch_indices]
+        positions = work["base"][None, :num_tasks * batch] + label_steps.transpose(
+            1, 0, 2
+        ).reshape(num_steps, -1)
+        logits = work["logits"][:num_tasks]
+        logits_flat = logits.reshape(-1)
+        logits_t = logits.transpose(0, 2, 1)
+        reduced = work["reduced"][:num_tasks]
+        normalizer = reduced[..., 0]
+        gradient = work["gradient"][:num_tasks]
+        grad_weight = gradient[:, :split].reshape(
+            num_tasks, self.num_classes, self.num_features
+        )
+        grad_bias = gradient[:, split:]
+        scratch = work["scratch"][:num_tasks]
+        for step in range(num_steps):
+            batch_features = features[batch_indices[:, step]]
+            np.matmul(batch_features, weight_t, out=logits)
+            logits += bias
+            np.maximum.reduce(logits, axis=2, keepdims=True, out=reduced)
+            np.subtract(logits, reduced, out=logits)
+            np.exp(logits, out=logits)
+            np.einsum("kbc->kb", logits, out=normalizer)
+            np.divide(logits, reduced, out=logits)
+            logits_flat[positions[step]] -= 1.0
+            logits /= batch
+            np.matmul(logits_t, batch_features, out=grad_weight)
+            np.einsum("kbc->kc", logits, out=grad_bias)
+            np.multiply(current, self.l2, out=scratch)
+            gradient += scratch
+            np.multiply(gradient, step_size, out=scratch)
+            current -= scratch
+        # The workspace's ``current`` is reused on the next call, so hand
+        # the caller its own copy.
+        return current.copy()
 
     def smoothness_constants(self, features: np.ndarray) -> Tuple[float, float]:
         """Analytic ``(L, mu)`` for softmax cross-entropy + L2.
@@ -111,11 +288,15 @@ class RidgeRegression(Model):
     the exact full-participation solution.
     """
 
+    #: Identity-keyed cache entries kept per model for design matrices.
+    _DESIGN_CACHE_SIZE = 4
+
     def __init__(self, num_features: int, l2: float = 1e-2):
         if num_features <= 0:
             raise ValueError(f"need num_features >= 1, got {num_features}")
         self.num_features = int(num_features)
         self.l2 = check_nonnegative(l2, "l2")
+        self._design_cache: list = []
 
     @property
     def num_params(self) -> int:
@@ -125,8 +306,24 @@ class RidgeRegression(Model):
         return np.zeros(self.num_params)
 
     def _design(self, features: np.ndarray) -> np.ndarray:
+        # loss/gradient/predict are called with the *same* feature-matrix
+        # object over and over (every iteration of gradient descent, every
+        # evaluation pass), and the bias-column hstack dominated those
+        # calls' allocation cost. A tiny identity-keyed LRU avoids the
+        # re-allocation; mutating a cached feature matrix in place would
+        # leave a stale design behind, so don't.
+        for index, (cached_features, design) in enumerate(self._design_cache):
+            if cached_features is features:
+                if index != 0:
+                    self._design_cache.insert(
+                        0, self._design_cache.pop(index)
+                    )
+                return design
         ones = np.ones((features.shape[0], 1))
-        return np.hstack([features, ones])
+        design = np.hstack([features, ones])
+        self._design_cache.insert(0, (features, design))
+        del self._design_cache[self._DESIGN_CACHE_SIZE:]
+        return design
 
     def loss(
         self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
@@ -148,6 +345,54 @@ class RidgeRegression(Model):
     def predict(self, params: np.ndarray, features: np.ndarray) -> np.ndarray:
         params = self._check_params(params)
         return self._design(features) @ params
+
+    def sample_losses(
+        self, params: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        params = self._check_params(params)
+        residuals = self._design(features) @ params - labels
+        return 0.5 * residuals**2
+
+    def penalty(self, params: np.ndarray) -> float:
+        params = self._check_params(params)
+        return float(0.5 * self.l2 * params @ params)
+
+    @staticmethod
+    def _batched_design(features: np.ndarray) -> np.ndarray:
+        ones = np.ones(features.shape[:2] + (1,))
+        return np.concatenate([features, ones], axis=2)
+
+    def batched_loss(
+        self,
+        params_stack: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        params_stack = self._check_params_stack(params_stack)
+        design = self._batched_design(features)
+        residuals = (
+            np.matmul(design, params_stack[..., None])[..., 0] - labels
+        )
+        return 0.5 * np.mean(residuals**2, axis=1) + np.array(
+            [0.5 * self.l2 * row @ row for row in params_stack]
+        )
+
+    def batched_gradient(
+        self,
+        params_stack: np.ndarray,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        params_stack = self._check_params_stack(params_stack)
+        design = self._batched_design(features)
+        residuals = (
+            np.matmul(design, params_stack[..., None])[..., 0] - labels
+        )
+        return (
+            np.matmul(design.transpose(0, 2, 1), residuals[..., None])[..., 0]
+            / labels.shape[1]
+            + self.l2 * params_stack
+        )
 
     def closed_form_optimum(
         self, features: np.ndarray, labels: np.ndarray

@@ -87,3 +87,37 @@ class TestArgumentValidation:
     def test_bad_table_id_rejected(self):
         with pytest.raises(SystemExit):
             main(["table", "--id", "1"])
+
+
+class TestBackendFlags:
+    def test_backend_flag_parses_on_either_side_of_verb(self):
+        from repro.experiments.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(["--backend", "loop", "fig", "--id", "4"])
+        assert args.backend == "loop"
+        args = parser.parse_args(["fig", "--id", "4", "--backend", "loop"])
+        assert args.backend == "loop"
+        args = parser.parse_args(["equilibrium"])
+        assert args.backend == "vectorized"
+
+    def test_bench_targets_parse(self):
+        from repro.experiments.cli import _build_parser
+
+        parser = _build_parser()
+        assert parser.parse_args(["bench"]).target == "orchestrator"
+        assert parser.parse_args(["bench", "trainer"]).target == "trainer"
+
+    def test_bench_trainer_smoke(self, tmp_path, capsys):
+        code = main(
+            ["--scale", "ci", "--out", str(tmp_path), "bench", "trainer"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bit-identical histories): True" in out
+        payload = json.loads((tmp_path / "bench_trainer.json").read_text())
+        assert payload["identical"] is True
+        assert payload["scale"] == "ci"
+        assert set(payload) >= {
+            "loop_s", "vectorized_s", "speedup", "mean_participants"
+        }

@@ -142,3 +142,75 @@ class TestSurrogateUtility:
                 perturbed, prices, small_population, contributions
             )
             assert np.all(other <= base + 1e-9)
+
+
+class TestVectorizedNewtonSolver:
+    """The vectorized bracketed-Newton solve vs the scalar np.roots path."""
+
+    def test_matches_scalar_reference_on_random_grid(self):
+        from repro.game import ClientPopulation
+
+        rng = np.random.default_rng(42)
+        n = 300
+        population = ClientPopulation(
+            weights=np.full(n, 1.0 / n),
+            gradient_bounds=np.ones(n),
+            costs=rng.uniform(0.1, 80.0, size=n),
+            # ~20% of clients hold no intrinsic stake (the closed-form
+            # branch), the rest spread over several orders of magnitude.
+            values=np.where(
+                rng.random(n) < 0.2, 0.0, rng.exponential(5.0, size=n)
+            ),
+            q_max=rng.uniform(0.2, 1.0, size=n),
+        )
+        prices = rng.normal(0.0, 25.0, size=n)
+        contributions = rng.exponential(0.3, size=n)
+        vector = best_response_vector(prices, population, contributions)
+        for index in range(n):
+            scalar = best_response(
+                prices[index],
+                population.costs[index],
+                population.values[index] * contributions[index],
+                population.q_max[index],
+            )
+            assert vector[index] == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_tiny_value_contributions_where_np_roots_degrades(self):
+        """The regime the scalar path handles with bisection recovery."""
+        from repro.game import ClientPopulation
+
+        values = np.array([1e-18, 1e-12, 1e-6, 1e8])
+        population = ClientPopulation(
+            weights=np.full(4, 0.25),
+            gradient_bounds=np.ones(4),
+            costs=np.array([3.0, 8.0, 1.0, 5.0]),
+            values=values,
+            q_max=np.ones(4),
+        )
+        prices = np.array([50.0, -20.0, 0.0, -5.0])
+        contributions = np.ones(4)
+        vector = best_response_vector(prices, population, contributions)
+        for index in range(4):
+            scalar = best_response(
+                prices[index],
+                population.costs[index],
+                values[index],
+                1.0,
+            )
+            assert vector[index] == pytest.approx(scalar, rel=1e-9, abs=1e-15)
+
+    def test_zero_stake_branch_is_exact_closed_form(self):
+        from repro.game import ClientPopulation
+
+        population = ClientPopulation(
+            weights=np.array([0.5, 0.5]),
+            gradient_bounds=np.ones(2),
+            costs=np.array([5.0, 5.0]),
+            values=np.zeros(2),
+            q_max=np.array([1.0, 0.3]),
+        )
+        vector = best_response_vector(
+            np.array([4.0, 100.0]), population, np.zeros(2)
+        )
+        assert vector[0] == 0.4  # P / (2c), bitwise: same expression
+        assert vector[1] == 0.3  # capped at q_max

@@ -1,0 +1,177 @@
+"""Tests for the batched model API (the vectorized backend's kernels).
+
+The vectorized FL backend's determinism contract rests on one property:
+``batched_gradient`` / ``batched_loss`` over a parameter stack are
+**bit-identical** to looping the scalar API over the slices. These tests
+pin that property for both library models, the base-class fallback, and
+the per-sample loss decomposition the stacked metrics pass uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import MultinomialLogisticRegression
+from repro.models.base import Model
+from repro.models.linear import RidgeRegression
+
+
+@pytest.fixture()
+def mlr_batch():
+    rng = np.random.default_rng(11)
+    model = MultinomialLogisticRegression(7, 4, l2=1e-2)
+    stack = rng.normal(size=(6, model.num_params))
+    features = rng.normal(size=(6, 13, 7))
+    labels = rng.integers(0, 4, size=(6, 13))
+    return model, stack, features, labels
+
+
+@pytest.fixture()
+def ridge_batch():
+    rng = np.random.default_rng(12)
+    model = RidgeRegression(5, l2=1e-3)
+    stack = rng.normal(size=(6, model.num_params))
+    features = rng.normal(size=(6, 9, 5))
+    labels = rng.normal(size=(6, 9))
+    return model, stack, features, labels
+
+
+class TestBatchedBitIdentity:
+    def test_mlr_gradient(self, mlr_batch):
+        model, stack, features, labels = mlr_batch
+        batched = model.batched_gradient(stack, features, labels)
+        for k in range(stack.shape[0]):
+            scalar = model.gradient(stack[k], features[k], labels[k])
+            assert np.array_equal(batched[k], scalar)
+
+    def test_mlr_loss(self, mlr_batch):
+        model, stack, features, labels = mlr_batch
+        batched = model.batched_loss(stack, features, labels)
+        for k in range(stack.shape[0]):
+            assert batched[k] == model.loss(stack[k], features[k], labels[k])
+
+    def test_ridge_gradient(self, ridge_batch):
+        model, stack, features, labels = ridge_batch
+        batched = model.batched_gradient(stack, features, labels)
+        for k in range(stack.shape[0]):
+            scalar = model.gradient(stack[k], features[k], labels[k])
+            assert np.array_equal(batched[k], scalar)
+
+    def test_ridge_loss(self, ridge_batch):
+        model, stack, features, labels = ridge_batch
+        batched = model.batched_loss(stack, features, labels)
+        for k in range(stack.shape[0]):
+            assert batched[k] == model.loss(stack[k], features[k], labels[k])
+
+    def test_broadcast_parameter_stack(self, mlr_batch):
+        """A repeated-params stack (gradient-norm sampling) matches too."""
+        model, stack, features, labels = mlr_batch
+        repeated = np.repeat(stack[:1], stack.shape[0], axis=0)
+        batched = model.batched_gradient(repeated, features, labels)
+        for k in range(stack.shape[0]):
+            scalar = model.gradient(stack[0], features[k], labels[k])
+            assert np.array_equal(batched[k], scalar)
+
+
+class TestBaseClassFallback:
+    def test_fallback_matches_overridden_kernels(self, mlr_batch):
+        model, stack, features, labels = mlr_batch
+
+        class FallbackModel(MultinomialLogisticRegression):
+            batched_gradient = Model.batched_gradient
+            batched_loss = Model.batched_loss
+
+        fallback = FallbackModel(7, 4, l2=1e-2)
+        assert np.array_equal(
+            fallback.batched_gradient(stack, features, labels),
+            model.batched_gradient(stack, features, labels),
+        )
+        assert np.array_equal(
+            fallback.batched_loss(stack, features, labels),
+            model.batched_loss(stack, features, labels),
+        )
+
+    def test_stack_shape_validated(self, mlr_batch):
+        model, stack, features, labels = mlr_batch
+        with pytest.raises(ValueError):
+            model.batched_gradient(stack[:, :-1], features, labels)
+        with pytest.raises(ValueError):
+            model.batched_gradient(stack[0], features, labels)
+
+    def test_base_sample_losses_unimplemented(self):
+        class Opaque(Model):
+            num_params = 1
+
+            def init_params(self):
+                return np.zeros(1)
+
+            def loss(self, params, features, labels):
+                return 0.0
+
+            def gradient(self, params, features, labels):
+                return np.zeros(1)
+
+            def predict(self, params, features):
+                return np.zeros(len(features))
+
+            def smoothness_constants(self, features):
+                return 1.0, 1.0
+
+        with pytest.raises(NotImplementedError):
+            Opaque().sample_losses(np.zeros(1), np.zeros((2, 1)), np.zeros(2))
+        assert Opaque().penalty(np.zeros(1)) == 0.0
+
+
+class TestSampleLossDecomposition:
+    def test_mlr_reconstructs_loss(self, mlr_batch):
+        model, stack, features, labels = mlr_batch
+        samples = model.sample_losses(stack[0], features[0], labels[0])
+        assert samples.shape == (features.shape[1],)
+        reconstructed = samples.mean() + model.penalty(stack[0])
+        assert reconstructed == model.loss(stack[0], features[0], labels[0])
+
+    def test_ridge_reconstructs_loss(self, ridge_batch):
+        model, stack, features, labels = ridge_batch
+        samples = model.sample_losses(stack[0], features[0], labels[0])
+        reconstructed = samples.mean() + model.penalty(stack[0])
+        assert reconstructed == model.loss(stack[0], features[0], labels[0])
+
+
+class TestRidgeDesignCache:
+    def test_same_matrix_reuses_design(self):
+        model = RidgeRegression(3)
+        features = np.random.default_rng(0).normal(size=(10, 3))
+        first = model._design(features)
+        assert model._design(features) is first
+
+    def test_distinct_matrices_get_distinct_designs(self):
+        model = RidgeRegression(3)
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(5, 3))
+        design_a, design_b = model._design(a), model._design(b)
+        assert np.array_equal(design_a[:, :-1], a)
+        assert np.array_equal(design_b[:, :-1], b)
+        assert np.all(design_a[:, -1] == 1.0)
+        # Both stay cached (LRU capacity is > 2).
+        assert model._design(a) is design_a
+        assert model._design(b) is design_b
+
+    def test_cache_is_bounded(self):
+        model = RidgeRegression(2)
+        rng = np.random.default_rng(2)
+        matrices = [rng.normal(size=(3, 2)) for _ in range(10)]
+        for matrix in matrices:
+            model._design(matrix)
+        assert len(model._design_cache) == RidgeRegression._DESIGN_CACHE_SIZE
+
+    def test_equal_but_distinct_objects_not_conflated(self):
+        """Identity keying: equal contents in a new object recompute."""
+        model = RidgeRegression(2)
+        a = np.ones((4, 2))
+        b = np.ones((4, 2))
+        design_a = model._design(a)
+        design_b = model._design(b)
+        assert design_a is not design_b
+        assert np.array_equal(design_a, design_b)
