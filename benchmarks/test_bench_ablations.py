@@ -128,7 +128,7 @@ def test_ablation_bound_shape(benchmark):
     print(
         render_table(
             ["q level", "measured gap", "surrogate gap"],
-            [[l, m, p] for l, m, p in zip(levels, measured, predicted)],
+            [[lv, m, p] for lv, m, p in zip(levels, measured, predicted)],
             title="A2 — bound shape vs measurement",
             float_format=".5f",
         )

@@ -12,7 +12,6 @@ evaluation snapshot (the paper's 600-second mark, proportionally scaled).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import get_prepared, results_dir
 from repro.experiments import (

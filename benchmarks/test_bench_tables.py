@@ -14,8 +14,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
-
 from benchmarks.conftest import get_comparison, get_prepared, results_dir
 from repro.experiments import (
     render_negative_payment_table,

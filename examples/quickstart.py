@@ -16,9 +16,6 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.datasets import synthetic_federated
 from repro.experiments import SCALES, SETUP1, apply_scale, prepare_setup
 from repro.fl import BernoulliParticipation, FederatedTrainer
 from repro.game import OptimalPricing

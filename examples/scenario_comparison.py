@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Scenario registry tour: mechanisms x regimes, including a biased baseline.
+
+The scenario layer turns the reproduction into a mechanism-comparison
+harness: declarative :class:`~repro.scenarios.ScenarioSpec` regimes
+(population economy x participation process) crossed with the mechanism
+suite (the paper's pricing plus full-participation, fixed-subset, and
+no-incentive baselines). This script runs three contrasting scenarios and
+prints the comparison matrix — watch the ``estimator_bias`` column: the
+fixed-subset baseline excludes most of the data distribution and its final
+loss collapses, which is precisely the bias the paper's mechanism removes.
+
+Run:  python examples/scenario_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.game import build_mechanism
+from repro.scenarios import (
+    ScenarioRunner,
+    get_scenario,
+    nonfinite_metrics,
+    render_scenario_table,
+)
+
+
+def main() -> None:
+    runner = ScenarioRunner(scale="ci", seed=0)
+    mechanisms = [
+        build_mechanism(name)
+        for name in ("proposed", "uniform", "fixed-subset", "random")
+    ]
+
+    print("Training scenarios (paper regime vs correlated flash crowds):")
+    cells = runner.compare(
+        [get_scenario("paper-default"), get_scenario("flash-crowd")],
+        mechanisms,
+    )
+    print(render_scenario_table(cells, title=""))
+
+    print("\nGame layer at fleet scale (10k clients, equilibrium only):")
+    mega_cells = runner.run(get_scenario("megafleet"), mechanisms)
+    print(render_scenario_table(mega_cells, title=""))
+
+    bad = nonfinite_metrics(cells + mega_cells)
+    assert not bad, f"non-finite metrics: {bad}"
+
+    biased = next(c for c in cells if c.mechanism == "fixed-subset")
+    unbiased = next(c for c in cells if c.mechanism == "proposed")
+    print(
+        f"\nfixed-subset excludes {biased.metrics['estimator_bias']:.0%} of "
+        f"the data weight and ends at loss "
+        f"{biased.metrics['final_loss']:.3f}; the proposed mechanism is "
+        f"unbiased and ends at {unbiased.metrics['final_loss']:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,7 @@ image-like) and samples are ``x = p_c + elastic jitter + pixel noise``.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ Generative recipe (per client ``k``):
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List
 
 import numpy as np
 

@@ -10,6 +10,12 @@ Verbs and their paper correspondence:
   budget, Sec. VI-C).
 * ``equilibrium`` — the Stackelberg equilibrium ``{P^SE, q^SE}`` of the CPL
   game (Sec. V), printed per client.
+* ``scenarios {list,run,compare}`` — the scenario registry
+  (:mod:`repro.scenarios`): ``list`` prints registered scenarios (``--json``
+  emits the document the CI matrix consumes), ``run`` executes one scenario
+  (``--name``) or all of them across the mechanism suite, ``compare``
+  renders the full (scenario x mechanism) matrix. ``run``/``compare`` exit
+  non-zero on any non-finite metric.
 * ``cache {stats,clear}`` — inspect or empty the content-addressed result
   store (requires ``--cache-dir``).
 * ``bench [orchestrator]`` — serial vs parallel wall-clock on the Fig.-4
@@ -169,6 +175,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stats: entry count/bytes; clear: delete every cached result",
     )
 
+    scenarios = add_verb(
+        "scenarios",
+        help="list, run, or compare registered scenarios x mechanisms",
+    )
+    scenarios.add_argument(
+        "action", choices=("list", "run", "compare"),
+        help="list: registered scenarios; run: one scenario (or --all) "
+        "across the mechanism suite; compare: the full scenario x "
+        "mechanism matrix",
+    )
+    scenarios.add_argument(
+        "--name", action="append", default=None, metavar="SCENARIO",
+        help="scenario to run/compare (repeatable; default: all registered)",
+    )
+    scenarios.add_argument(
+        "--all", action="store_true",
+        help="with 'run': every registered scenario ('compare' defaults "
+        "to all)",
+    )
+    scenarios.add_argument(
+        "--mechanisms", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated mechanism names (default: proposed, uniform, "
+        "full, fixed-subset, random)",
+    )
+    scenarios.add_argument(
+        "--repeats", type=int, default=None,
+        help="training seeds per cell (default: scale profile)",
+    )
+    scenarios.add_argument(
+        "--json", action="store_true",
+        help="with 'list': emit a JSON document (drives the CI matrix)",
+    )
+
     bench = add_verb(
         "bench",
         help="benchmark the orchestrator or the trainer backends",
@@ -326,6 +365,126 @@ def _cmd_equilibrium(args) -> int:
              "prices": equilibrium.prices},
             args.out / f"equilibrium_{args.setup}.json",
         )
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    """``scenarios list|run|compare`` — the mechanism-comparison harness.
+
+    ``run`` and ``compare`` exit non-zero when any cell metric is
+    non-finite, so the CI matrix fails loudly instead of archiving NaNs.
+    """
+    import json
+
+    from repro.game import MECHANISMS, build_mechanism
+    from repro.scenarios import (
+        ScenarioRunner,
+        export_cells,
+        get_scenario,
+        list_scenarios,
+        nonfinite_metrics,
+        render_scenario_table,
+    )
+
+    if args.action == "list":
+        specs = list_scenarios()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "scenarios": [spec.name for spec in specs],
+                        "mechanisms": sorted(MECHANISMS),
+                        "specs": [spec.to_doc() for spec in specs],
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        rows = [
+            [
+                spec.name,
+                spec.setup,
+                spec.participation.kind,
+                spec.train,
+                spec.description,
+            ]
+            for spec in specs
+        ]
+        print(
+            render_table(
+                ["scenario", "setup", "participation", "trains", "description"],
+                rows,
+                title=f"Registered scenarios ({len(rows)})",
+            )
+        )
+        return 0
+
+    if args.json:
+        print("scenarios: --json only applies to 'list'", file=sys.stderr)
+        return 2
+    if args.action == "run" and not args.name and not args.all:
+        print(
+            "scenarios run: pass --name SCENARIO (repeatable) or --all",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.name:
+            specs = [get_scenario(name) for name in args.name]
+        else:
+            specs = list_scenarios()
+        if args.mechanisms:
+            mechanisms = [
+                build_mechanism(name.strip())
+                for name in args.mechanisms.split(",")
+                if name.strip()
+            ]
+        else:
+            mechanisms = None
+    except (KeyError, ValueError) as error:
+        print(f"scenarios: {error.args[0]}", file=sys.stderr)
+        return 2
+    runner = ScenarioRunner(
+        scale=args.scale, seed=args.seed, orchestrator=_orchestrator(args)
+    )
+    if args.action == "run":
+        cells = []
+        for spec in specs:
+            scenario_cells = runner.run(
+                spec, mechanisms, repeats=args.repeats
+            )
+            print(
+                render_scenario_table(
+                    scenario_cells, title=f"Scenario: {spec.name}"
+                )
+            )
+            if args.out:
+                export_cells(
+                    scenario_cells, args.out, prefix=f"scenario_{spec.name}"
+                )
+            cells.extend(scenario_cells)
+    else:  # compare
+        cells = runner.compare(specs, mechanisms, repeats=args.repeats)
+        print(
+            render_scenario_table(
+                cells,
+                title=(
+                    f"Scenario comparison ({len(specs)} scenarios x "
+                    f"{len(cells) // max(len(specs), 1)} mechanisms)"
+                ),
+            )
+        )
+        if args.out:
+            export_cells(cells, args.out, prefix="scenario_comparison")
+    bad = nonfinite_metrics(cells)
+    if bad:
+        print(
+            "scenarios: non-finite metrics in "
+            + ", ".join(bad),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -589,6 +748,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_fig(args)
     if args.command == "equilibrium":
         return _cmd_equilibrium(args)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "bench":

@@ -13,7 +13,7 @@ parallelizes across processes and memoizes per-job results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

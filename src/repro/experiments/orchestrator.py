@@ -46,7 +46,11 @@ where ``code`` is ``repro.__version__`` (bump it when numerics change),
 ``with_budget``/``with_mean_value``-derived setup never shares keys with
 its base. Train jobs are keyed by the *full* ``q`` vector rather than the
 scheme that produced it, so two schemes or sweep points that induce the
-same participation share one cached run. The trainer *backend*
+same participation share one cached run. The scenario layer's knobs — a
+non-Bernoulli participation process, zero-exclusion, a parameterized
+mechanism's constructor kwargs — enter job keys **only at non-default
+values**, so every pre-scenario key is preserved and the paper-default
+scenario shares the plain pipeline's entries. The trainer *backend*
 (vectorized vs loop) is excluded from the key on purpose: both engines
 produce bit-identical histories, so a store populated under either backend
 serves the other. Within a single graph run,
@@ -157,22 +161,32 @@ def setup_fingerprint(prepared: PreparedSetup) -> dict:
 
 @dataclass(frozen=True)
 class EquilibriumJob:
-    """Solve one pricing scheme on one (variant) setup — a pure game solve."""
+    """Solve one pricing scheme on one (variant) setup — a pure game solve.
+
+    ``params`` carries a parameterized mechanism's constructor kwargs as a
+    sorted tuple of pairs (e.g. ``(("fraction", 0.25),)`` for the random-
+    selection baseline). It enters :meth:`key_fields` only when set, so
+    every pre-existing job keeps its historical cache key.
+    """
 
     scheme_class: str
     scheme_name: str
     method: Optional[str] = None
     variant: Variant = None
+    params: Optional[Tuple[Tuple[str, float], ...]] = None
 
     kind = "equilibrium"
 
     def key_fields(self) -> dict:
-        return {
+        fields = {
             "scheme_class": self.scheme_class,
             "scheme_name": self.scheme_name,
             "method": self.method,
             "variant": list(self.variant) if self.variant else None,
         }
+        if self.params is not None:
+            fields["params"] = [list(pair) for pair in self.params]
+        return fields
 
 
 @dataclass(frozen=True)
@@ -187,16 +201,30 @@ class TrainJob:
     **not** part of :meth:`key_fields`: the vectorized and loop engines
     produce bit-identical histories, so a result cached under one backend
     is the other's result too — switching backends must not fork the cache.
+
+    ``participation`` (a :class:`~repro.fl.ParticipationSpec`) and
+    ``exclude_zero`` are the scenario layer's knobs on
+    :func:`~repro.experiments.runner.run_history`. Both *do* change
+    results, so both enter :meth:`key_fields` — but only at non-default
+    values, so every pre-scenario job keeps its historical cache key (and
+    the paper-default scenario shares the plain Fig.-4 entries).
     """
 
     q: Tuple[float, ...]
     seed: int
     backend: str = "vectorized"
+    participation: Optional[Any] = None
+    exclude_zero: bool = False
 
     kind = "train"
 
     def key_fields(self) -> dict:
-        return {"q": list(self.q), "seed": int(self.seed)}
+        fields = {"q": list(self.q), "seed": int(self.seed)}
+        if self.participation is not None:
+            fields["participation"] = self.participation.to_doc()
+        if self.exclude_zero:
+            fields["exclude_zero"] = True
+        return fields
 
 
 JobSpec = Union[EquilibriumJob, TrainJob]
@@ -382,13 +410,38 @@ def _init_worker(payload: bytes) -> None:
 
 
 def _scheme_registry() -> dict:
-    from repro.game import OptimalPricing, UniformPricing, WeightedPricing
+    from repro.game import (
+        FixedSubsetMechanism,
+        FullParticipationMechanism,
+        OptimalPricing,
+        RandomSelectionMechanism,
+        UniformPricing,
+        WeightedPricing,
+    )
 
     return {
         "OptimalPricing": OptimalPricing,
         "UniformPricing": UniformPricing,
         "WeightedPricing": WeightedPricing,
+        "FullParticipationMechanism": FullParticipationMechanism,
+        "FixedSubsetMechanism": FixedSubsetMechanism,
+        "RandomSelectionMechanism": RandomSelectionMechanism,
     }
+
+
+def _build_scheme(spec: "EquilibriumJob"):
+    """Reconstruct the scheme/mechanism an :class:`EquilibriumJob` names."""
+    registry = _scheme_registry()
+    if spec.scheme_class not in registry:
+        raise ValueError(
+            f"unknown scheme class {spec.scheme_class!r}; orchestrated "
+            f"schemes must be one of {sorted(registry)}"
+        )
+    cls = registry[spec.scheme_class]
+    kwargs = dict(spec.params) if spec.params is not None else {}
+    if spec.method is not None:
+        kwargs["method"] = spec.method
+    return cls(**kwargs)
 
 
 def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
@@ -400,14 +453,7 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
     codec and are indistinguishable.
     """
     if isinstance(spec, EquilibriumJob):
-        registry = _scheme_registry()
-        if spec.scheme_class not in registry:
-            raise ValueError(
-                f"unknown scheme class {spec.scheme_class!r}; orchestrated "
-                f"schemes must be one of {sorted(registry)}"
-            )
-        cls = registry[spec.scheme_class]
-        scheme = cls(spec.method) if spec.method is not None else cls()
+        scheme = _build_scheme(spec)
         outcome = scheme.apply(apply_variant(prepared, spec.variant).problem)
         return outcome_to_doc(outcome)
     if isinstance(spec, TrainJob):
@@ -418,6 +464,8 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
             np.asarray(spec.q, dtype=float),
             seed=spec.seed,
             backend=spec.backend,
+            participation=spec.participation,
+            exclude_zero=spec.exclude_zero,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
@@ -702,11 +750,17 @@ class ExperimentOrchestrator:
         schemes: Optional[Sequence[Any]] = None,
         train: bool = True,
         variant: Variant = None,
+        participation: Optional[Any] = None,
+        exclude_zero: bool = False,
     ) -> Dict[str, Any]:
         """Orchestrated :func:`~repro.experiments.runner.run_pricing_comparison`.
 
         Builds the ``equilibrium -> {train(seed)}`` DAG per scheme and
         returns ``{scheme name: SchemeResult}``.
+
+        ``participation`` and ``exclude_zero`` are forwarded to every train
+        job (see :class:`TrainJob`); a plain-Bernoulli spec is normalized
+        to ``None`` so it shares cache entries with the historical path.
         """
         from repro.experiments.runner import SchemeResult, default_schemes
 
@@ -714,6 +768,21 @@ class ExperimentOrchestrator:
             repeats = prepared.config.repeats
         if schemes is None:
             schemes = default_schemes()
+        if participation is not None and participation.kind == "bernoulli":
+            participation = None
+
+        def train_job(q_vector: Tuple[float, ...], seed: int) -> TrainJob:
+            # exclude_zero is a no-op unless q actually contains an exact
+            # zero; normalizing it away keeps zero-free jobs on their
+            # historical cache keys.
+            return TrainJob(
+                q=q_vector,
+                seed=seed,
+                backend=self.backend,
+                participation=participation,
+                exclude_zero=exclude_zero and 0.0 in q_vector,
+            )
+
         nodes: List[JobNode] = []
         # Schemes outside the registry (user subclasses of PricingScheme)
         # can't be shipped to workers or cached by name, so their solves run
@@ -740,8 +809,8 @@ class ExperimentOrchestrator:
                         nodes.append(
                             JobNode(
                                 name=f"train/{scheme.name}/{seed}",
-                                build=lambda _, q=q_vector, s=seed: TrainJob(
-                                    q=q, seed=s, backend=self.backend
+                                build=lambda _, q=q_vector, s=seed: (
+                                    train_job(q, s)
                                 ),
                             )
                         )
@@ -751,12 +820,11 @@ class ExperimentOrchestrator:
                                 name=f"train/{scheme.name}/{seed}",
                                 deps=(eq_name,),
                                 build=lambda results, e=eq_name, s=seed: (
-                                    TrainJob(
-                                        q=tuple(
+                                    train_job(
+                                        tuple(
                                             float(v) for v in results[e].q
                                         ),
-                                        seed=s,
-                                        backend=self.backend,
+                                        s,
                                     )
                                 ),
                             )
@@ -857,4 +925,5 @@ def _scheme_spec(scheme: Optional[Any], variant: Variant) -> EquilibriumJob:
         scheme_name=scheme.name,
         method=getattr(scheme, "method", None),
         variant=variant,
+        params=getattr(scheme, "spec_params", None),
     )

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.experiments.runner import PricingComparison
 from repro.experiments.tables import SCHEME_ORDER
-from repro.utils.serialization import save_json, to_jsonable
+from repro.utils.serialization import save_json
 from repro.utils.tables import render_table
 
 PathLike = Union[str, Path]

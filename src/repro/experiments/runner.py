@@ -21,7 +21,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.experiments.setup import PreparedSetup
-from repro.fl import BernoulliParticipation, FederatedTrainer, TrainingHistory
+from repro.fl import (
+    BernoulliParticipation,
+    FederatedTrainer,
+    ParticipationSpec,
+    TrainingHistory,
+)
 from repro.fl.history import average_histories
 from repro.game import (
     OptimalPricing,
@@ -58,6 +63,8 @@ def run_history(
     *,
     seed: int = 0,
     backend: str = "vectorized",
+    participation: Optional[ParticipationSpec] = None,
+    exclude_zero: bool = False,
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
 
@@ -68,9 +75,24 @@ def run_history(
     ``backend`` selects the trainer's local-SGD engine (``"vectorized"`` or
     ``"loop"``); histories are bit-identical either way, so the choice is
     purely a performance knob and is excluded from orchestrator cache keys.
+
+    ``participation`` optionally replaces the paper's independent-Bernoulli
+    round process with another :class:`~repro.fl.ParticipationSpec` regime
+    (correlated shocks, intermittent availability) at the same willingness
+    ``q``; ``None`` is byte-for-byte the historical Bernoulli path.
+
+    ``exclude_zero=True`` preserves *exact* zeros in ``q`` instead of
+    clipping them to :data:`Q_MIN`: those clients are deliberately excluded
+    (they never enter the round lottery, so the Lemma-1 aggregator never
+    divides by their zero), which is how the fixed-subset baseline's biased
+    regime is trained. The resulting estimator is biased toward the
+    included subpopulation — quantified by
+    :func:`repro.game.estimator_bias_mass`, not masked by clipping.
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
+    if exclude_zero:
+        q = np.where(requested == 0.0, 0.0, q)
     changed = q != requested
     if np.any(changed):
         logger.warning(
@@ -87,10 +109,14 @@ def run_history(
         )
     config = prepared.config
     child = prepared.rng_factory.child("run", str(seed))
+    if participation is None:
+        model = BernoulliParticipation(q, rng=child.make("participation"))
+    else:
+        model = participation.build(q, rng=child.make("participation"))
     trainer = FederatedTrainer(
         prepared.model,
         prepared.federated,
-        BernoulliParticipation(q, rng=child.make("participation")),
+        model,
         schedule=ExponentialDecaySchedule(
             initial=config.initial_lr, decay=config.lr_decay
         ),
@@ -173,6 +199,8 @@ def run_pricing_comparison(
     schemes: Optional[Sequence[PricingScheme]] = None,
     train: bool = True,
     orchestrator=None,
+    participation: Optional[ParticipationSpec] = None,
+    exclude_zero: bool = False,
 ) -> PricingComparison:
     """Compare pricing schemes on one prepared setup (the Fig.-4 engine).
 
@@ -191,13 +219,23 @@ def run_pricing_comparison(
         orchestrator: An
             :class:`~repro.experiments.orchestrator.ExperimentOrchestrator`
             for parallel/cached execution; ``None`` runs serially uncached.
+        participation: Optional round-process override for every training
+            run (see :func:`run_history`); ``None`` keeps the paper's
+            independent-Bernoulli path.
+        exclude_zero: Preserve exact zeros in induced ``q`` vectors
+            (deliberately excluded clients) instead of clipping them.
 
     Returns:
         Mapping scheme name to :class:`SchemeResult`.
     """
     orchestrator = orchestrator or _default_orchestrator()
     return orchestrator.run_comparison(
-        prepared, repeats=repeats, schemes=schemes, train=train
+        prepared,
+        repeats=repeats,
+        schemes=schemes,
+        train=train,
+        participation=participation,
+        exclude_zero=exclude_zero,
     )
 
 

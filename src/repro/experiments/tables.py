@@ -11,12 +11,10 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from repro.experiments.configs import SETUPS, SetupConfig
-from repro.experiments.runner import PricingComparison, SweepPoint
+from repro.experiments.configs import SETUPS
+from repro.experiments.runner import PricingComparison
 from repro.experiments.setup import PreparedSetup
-from repro.game import OptimalPricing, solve_cpl_game
+from repro.game import solve_cpl_game
 
 SCHEME_ORDER = ("proposed", "weighted", "uniform")
 

@@ -27,9 +27,13 @@ Public symbols and their paper correspondence:
 * :class:`ParticipationModel` / :class:`BernoulliParticipation` — the
   paper's independent-Bernoulli(``q_n``) participation (Sec. III-A);
   :class:`FullParticipation`, :class:`FixedSubsetParticipation`,
-  :class:`UniformSamplingParticipation`, and
+  :class:`UniformSamplingParticipation`,
+  :class:`CorrelatedParticipation`, and
   :class:`IntermittentAvailabilityParticipation` cover the comparison
   regimes from the partial-participation literature.
+* :class:`ParticipationSpec` — declarative, hashable description of a
+  participation process (``bernoulli | correlated | intermittent``); the
+  scenario layer threads it through train jobs and cache keys.
 * :func:`audit_participation` / :func:`empirical_participation_counts` /
   :class:`AuditReport` / :class:`ClientAudit` — verify that realized
   participation frequencies match the contracted ``q`` (the mechanism's
@@ -52,10 +56,12 @@ from repro.fl.client import FLClient
 from repro.fl.history import RoundRecord, TrainingHistory, average_histories
 from repro.fl.participation import (
     BernoulliParticipation,
+    CorrelatedParticipation,
     FixedSubsetParticipation,
     FullParticipation,
     IntermittentAvailabilityParticipation,
     ParticipationModel,
+    ParticipationSpec,
     UniformSamplingParticipation,
 )
 from repro.fl.server import FLServer
@@ -73,7 +79,9 @@ __all__ = [
     "ParticipantsOnlyAggregator",
     "NaiveInverseAggregator",
     "ParticipationModel",
+    "ParticipationSpec",
     "BernoulliParticipation",
+    "CorrelatedParticipation",
     "FullParticipation",
     "FixedSubsetParticipation",
     "IntermittentAvailabilityParticipation",

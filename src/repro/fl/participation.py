@@ -10,6 +10,7 @@ deterministic "valuable subset" selection and server-driven uniform sampling
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -179,6 +180,67 @@ class IntermittentAvailabilityParticipation(ParticipationModel):
         return self._stationary_on * self._q
 
 
+class CorrelatedParticipation(ParticipationModel):
+    """Exchangeable common-shock Bernoulli participation (extension).
+
+    The paper assumes clients join *independently*; the related work on
+    correlated client participation (Sun et al., *Debiasing Federated
+    Learning with Correlated Client Participation*) studies fleets where
+    availability shocks hit many devices at once (diurnal charging cycles,
+    regional outages). This model interpolates between the two: each round
+    is *synchronized* with probability ``correlation`` — one shared uniform
+    draw ``u`` decides every client (``n`` joins iff ``u < q_n``) — and
+    independent otherwise.
+
+    Marginals are exact in both branches (``P(join) = q_n``), so the
+    Lemma-1 aggregator stays unbiased round by round; only the *joint* law
+    changes. In a synchronized round the pair ``(m, n)`` co-participates
+    with probability ``min(q_m, q_n) >= q_m q_n``, so the aggregate update
+    variance grows with ``correlation`` while its mean is untouched —
+    exactly the regime the debiasing literature analyzes.
+
+    Args:
+        probabilities: The game-chosen participation probabilities ``q``.
+        correlation: Probability a round is synchronized, in ``[0, 1]``.
+            ``0`` recovers the independent model (up to RNG draw order),
+            ``1`` makes participation comonotone.
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        probabilities: Sequence[float],
+        *,
+        correlation: float = 0.5,
+        rng: SeedLike = None,
+    ):
+        probabilities = check_probability_vector(
+            probabilities, "probabilities"
+        )
+        super().__init__(len(probabilities))
+        if not 0 <= correlation <= 1:
+            raise ValueError(
+                f"correlation must lie in [0, 1], got {correlation}"
+            )
+        self._q = probabilities
+        self._correlation = float(correlation)
+        self._rng = spawn_rng(rng)
+
+    @property
+    def correlation(self) -> float:
+        """Probability that a round uses one shared draw for all clients."""
+        return self._correlation
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        if self._rng.random() < self._correlation:
+            return self._rng.random() < self._q
+        return self._rng.random(self.num_clients) < self._q
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return self._q.copy()
+
+
 class UniformSamplingParticipation(ParticipationModel):
     """Server samples ``K`` of ``N`` clients uniformly without replacement.
 
@@ -207,3 +269,85 @@ class UniformSamplingParticipation(ParticipationModel):
     @property
     def inclusion_probabilities(self) -> np.ndarray:
         return np.full(self.num_clients, self.cohort_size / self.num_clients)
+
+
+@dataclass(frozen=True)
+class ParticipationSpec:
+    """Declarative description of a participation *process*.
+
+    The scenario layer separates *how much* each client participates (the
+    ``q`` vector a mechanism induces) from *how* those probabilities are
+    realized round by round (this spec). A spec is a small frozen
+    dataclass, so it is hashable, picklable, and JSON-round-trippable —
+    train jobs carry it into orchestrator cache keys.
+
+    Attributes:
+        kind: ``"bernoulli"`` (the paper's independent model),
+            ``"correlated"`` (:class:`CorrelatedParticipation`), or
+            ``"intermittent"`` (:class:`IntermittentAvailabilityParticipation`).
+        correlation: Synchronized-round probability (``correlated`` only).
+        on_to_off: Per-round availability-loss probability
+            (``intermittent`` only).
+        off_to_on: Per-round availability-recovery probability
+            (``intermittent`` only).
+    """
+
+    kind: str = "bernoulli"
+    correlation: float = 0.5
+    on_to_off: float = 0.1
+    off_to_on: float = 0.3
+
+    _KINDS = ("bernoulli", "correlated", "intermittent")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown participation kind {self.kind!r}; choose from "
+                f"{self._KINDS}"
+            )
+
+    def build(
+        self, probabilities: Sequence[float], rng: SeedLike = None
+    ) -> ParticipationModel:
+        """Instantiate the described model at willingness ``probabilities``."""
+        if self.kind == "bernoulli":
+            return BernoulliParticipation(probabilities, rng=rng)
+        if self.kind == "correlated":
+            return CorrelatedParticipation(
+                probabilities, correlation=self.correlation, rng=rng
+            )
+        return IntermittentAvailabilityParticipation(
+            probabilities,
+            on_to_off=self.on_to_off,
+            off_to_on=self.off_to_on,
+            rng=rng,
+        )
+
+    def effective_inclusion(self, probabilities: Sequence[float]) -> np.ndarray:
+        """Per-round inclusion probabilities at willingness ``probabilities``.
+
+        Matches :attr:`ParticipationModel.inclusion_probabilities` of the
+        built model without instantiating it: the willingness itself for
+        ``bernoulli``/``correlated`` (marginals are exact), scaled by the
+        chain's stationary availability for ``intermittent``.
+        """
+        probabilities = np.asarray(probabilities, dtype=float)
+        if self.kind == "intermittent":
+            stationary_on = self.off_to_on / (self.on_to_off + self.off_to_on)
+            return stationary_on * probabilities
+        return probabilities.copy()
+
+    def to_doc(self) -> dict:
+        """JSON-serializable identity (used in cache-key documents)."""
+        doc = {"kind": self.kind}
+        if self.kind == "correlated":
+            doc["correlation"] = float(self.correlation)
+        elif self.kind == "intermittent":
+            doc["on_to_off"] = float(self.on_to_off)
+            doc["off_to_on"] = float(self.off_to_on)
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ParticipationSpec":
+        """Inverse of :meth:`to_doc` (unknown keys are rejected by name)."""
+        return cls(**{str(key): value for key, value in doc.items()})

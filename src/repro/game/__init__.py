@@ -37,6 +37,14 @@ Public symbols and their paper correspondence:
   :class:`PricingOutcome` — the proposed mechanism vs the paper's two
   budget-matched benchmarks ``P^w`` (datasize-weighted) and ``P^u``
   (uniform), Sec. VI-B.
+* :class:`Mechanism` / :class:`FullParticipationMechanism` /
+  :class:`FixedSubsetMechanism` / :class:`RandomSelectionMechanism` /
+  :data:`MECHANISMS` / :func:`build_mechanism` /
+  :func:`default_mechanisms` / :func:`estimator_bias_mass` /
+  :func:`subset_objective_gap` — the scenario layer's mechanism suite:
+  the paper's schemes plus the client-selection baselines the related
+  literature compares against (pay-for-full-participation, deterministic
+  valuable-subset selection, no-incentive random cohorts).
 * :func:`theorem2_invariant` / :func:`predicted_prices` — Theorem 2's
   closed-form SE price structure.
 * :func:`value_threshold` / :func:`interior_mask` /
@@ -70,6 +78,17 @@ from repro.game.equilibrium import (
     population_utilities,
     server_utility,
     solve_cpl_game,
+)
+from repro.game.mechanisms import (
+    MECHANISMS,
+    FixedSubsetMechanism,
+    FullParticipationMechanism,
+    Mechanism,
+    RandomSelectionMechanism,
+    build_mechanism,
+    default_mechanisms,
+    estimator_bias_mass,
+    subset_objective_gap,
 )
 from repro.game.pricing import (
     OptimalPricing,
@@ -121,6 +140,15 @@ __all__ = [
     "WeightedPricing",
     "compare_schemes",
     "evaluate_posted_prices",
+    "Mechanism",
+    "MECHANISMS",
+    "FullParticipationMechanism",
+    "FixedSubsetMechanism",
+    "RandomSelectionMechanism",
+    "build_mechanism",
+    "default_mechanisms",
+    "estimator_bias_mass",
+    "subset_objective_gap",
     "theorem2_invariant",
     "predicted_prices",
     "value_threshold",

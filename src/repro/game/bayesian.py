@@ -19,8 +19,6 @@ information that the extension experiment quantifies.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.game.client_model import ClientPopulation, sample_population

@@ -24,7 +24,6 @@ from typing import List
 
 import numpy as np
 
-from repro.simulation.devices import DeviceProfile
 from repro.simulation.runtime import TestbedRuntime
 from repro.utils.validation import check_nonnegative, check_positive
 

@@ -1,0 +1,271 @@
+"""Incentive mechanisms: the paper's pricing schemes plus ablation baselines.
+
+A :class:`Mechanism` is a strategy object mapping a
+:class:`~repro.game.server_problem.ServerProblem` to a
+:class:`~repro.game.pricing.PricingOutcome` — the same contract as
+:class:`~repro.game.pricing.PricingScheme` (every pricing scheme *is* a
+mechanism), extended with the baselines the broader incentive/client-
+selection literature compares against:
+
+* ``proposed`` / ``weighted`` / ``uniform`` — the paper's own schemes
+  (:class:`~repro.game.pricing.OptimalPricing` and its two budget-matched
+  benchmarks), re-exported through :data:`MECHANISMS`.
+* :class:`FullParticipationMechanism` — pay whatever Eq. (17) demands to put
+  every client at its cap. The unbiased gold standard; ignores the budget
+  (its ``spending`` reports the true cost of "just pay everyone").
+* :class:`FixedSubsetMechanism` — the deterministic "most valuable subset"
+  selection of the pre-mechanism FL incentive literature ([7]-[14] in the
+  paper): greedily buy full effort from the highest data-quality clients
+  until the budget runs out; everyone else is excluded (``q_n = 0``). The
+  induced estimator is *biased* toward the subset — the bias the paper's
+  mechanism exists to remove — quantified by :func:`estimator_bias_mass`.
+* :class:`RandomSelectionMechanism` — no incentives at all: the server
+  drafts a uniform cohort fraction each round and pays nothing. Unbiased
+  (every ``q_n > 0``) but ignores both heterogeneous costs (clients eat
+  theirs) and data quality.
+
+The Theorem-1 surrogate ``sum_n A_n (1 - q_n) / q_n`` is infinite at
+``q_n = 0``, correctly reflecting that an excluded client makes the bound
+vacuous. Outcomes with excluded clients therefore report the
+*subset-restricted* gap (:func:`subset_objective_gap`, the same penalty
+summed over included clients only) and carry the excluded weight mass as a
+separate bias metric; the scenario layer reports both columns side by side.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.game.client_model import ClientPopulation
+from repro.game.equilibrium import population_utilities
+from repro.game.pricing import (
+    OptimalPricing,
+    PricingOutcome,
+    PricingScheme,
+    UniformPricing,
+    WeightedPricing,
+    evaluate_posted_prices,
+)
+from repro.game.server_problem import ServerProblem
+
+#: Constructor-kwarg pairs identifying a parameterized mechanism in
+#: orchestrator job specs (hashable, JSON-serializable).
+SpecParams = Optional[Tuple[Tuple[str, float], ...]]
+
+
+def estimator_bias_mass(
+    population: ClientPopulation, q: Sequence[float]
+) -> float:
+    """Weight mass of clients the participation profile excludes.
+
+    Under Lemma-1 aggregation the expected global update is the
+    full-participation update restricted to clients with ``q_n > 0``; the
+    estimator's bias is therefore carried entirely by the excluded clients'
+    data weights. ``0`` means the estimator is unbiased; ``0.3`` means 30%
+    of the data distribution never enters the model.
+    """
+    q = np.asarray(q, dtype=float)
+    return float(population.weights[q <= 0.0].sum())
+
+
+def subset_objective_gap(problem: ServerProblem, q: Sequence[float]) -> float:
+    """Theorem-1 penalty restricted to the included (``q_n > 0``) clients.
+
+    The full surrogate diverges when any ``q_n = 0``; this is the gap of
+    the *subset federation* the profile actually trains — finite, and
+    meaningful alongside :func:`estimator_bias_mass` (which accounts for
+    what the subset misses). Equals ``problem.objective_gap(q)`` whenever
+    every client is included.
+    """
+    q = np.asarray(q, dtype=float)
+    included = q > 0.0
+    penalty = float(
+        np.sum(
+            problem.contributions[included]
+            * (1.0 - q[included])
+            / q[included]
+        )
+    )
+    return penalty + problem.beta / problem.num_rounds
+
+
+class Mechanism(PricingScheme, ABC):
+    """A pricing scheme with scenario-layer metadata.
+
+    Subclasses set :attr:`spec_params` to the constructor kwargs that
+    identify a configured instance, so the orchestrator can rebuild the
+    exact mechanism inside worker processes and key its cache entries.
+    """
+
+    #: Reconstructable identity: ``cls(**dict(spec_params))`` == this
+    #: instance. ``None`` means the mechanism takes no parameters.
+    spec_params: SpecParams = None
+
+    @property
+    def is_unbiased(self) -> bool:
+        """Whether the induced estimator keeps every client included."""
+        return True
+
+
+class FullParticipationMechanism(Mechanism):
+    """Pay every client for its maximum effort, budget be damned.
+
+    Posts the Eq.-(17) prices that make ``q_n = q_{n,max}`` every client's
+    best response. Spending is whatever that costs — typically far above
+    the budget — which is exactly what makes it the right upper anchor for
+    the comparison table: the loss it reaches bounds what any budgeted
+    mechanism can.
+    """
+
+    name = "full"
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        q_full = problem.population.q_max.copy()
+        prices = problem.prices_for(q_full)
+        return evaluate_posted_prices(problem, prices, self.name)
+
+
+class FixedSubsetMechanism(Mechanism):
+    """Deterministic valuable-subset selection — the biased baseline.
+
+    Clients are ranked by data quality ``a_n G_n``; the server buys full
+    effort (``q_n = q_{n,max}`` at the Eq.-17 price) from the best clients,
+    in order, while the cumulative *outgoing* payment fits the budget
+    (negative payments — clients who would pay for inclusion — are free to
+    accept and always taken). Everyone else is excluded: ``q_n = 0``,
+    price 0, and their weight mass becomes estimator bias.
+
+    The outcome's ``objective_gap`` is the subset-restricted gap (see
+    :func:`subset_objective_gap`); excluded clients' utilities are reported
+    as 0 (no cost, no transfer — the surrogate's ``v_n A_n / q_n`` value
+    term diverges at exclusion and is deliberately not charged to them).
+    """
+
+    name = "fixed-subset"
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        population = problem.population
+        quality = population.data_quality
+        q_full = population.q_max
+        full_prices = problem.prices_for(q_full)
+        payments = full_prices * q_full
+        # Highest data quality first; ties broken by client index so the
+        # selection is deterministic.
+        order = np.lexsort((np.arange(population.num_clients), -quality))
+        selected = np.zeros(population.num_clients, dtype=bool)
+        spent = 0.0
+        for n in order:
+            outgoing = max(float(payments[n]), 0.0)
+            if spent + outgoing > problem.budget and outgoing > 0.0:
+                continue
+            selected[n] = True
+            spent += outgoing
+        if not selected.any():
+            # A budget too small for even one client: take the single
+            # cheapest outgoing payment so the mechanism always trains
+            # *something* (matching the literature's K >= 1 cohorts).
+            cheapest = int(np.argmin(np.maximum(payments, 0.0)))
+            selected[cheapest] = True
+        q = np.where(selected, q_full, 0.0)
+        prices = np.where(selected, full_prices, 0.0)
+        gap = subset_objective_gap(problem, q)
+        local_gaps = (
+            problem.local_gaps
+            if problem.local_gaps is not None
+            else np.zeros(population.num_clients)
+        )
+        # Eq. 8a with the subset-restricted gap standing in for the (here
+        # divergent) full surrogate; excluded clients are scored 0.
+        utilities = np.where(
+            selected,
+            prices * q
+            - population.costs * q**2
+            + population.values * (local_gaps - gap),
+            0.0,
+        )
+        return PricingOutcome(
+            scheme=self.name,
+            prices=prices,
+            q=q,
+            spending=float(np.sum(prices * q)),
+            objective_gap=gap,
+            expected_loss=problem.f_star + gap,
+            client_utilities=utilities,
+        )
+
+    @property
+    def is_unbiased(self) -> bool:
+        return False
+
+
+class RandomSelectionMechanism(Mechanism):
+    """No-incentive uniform cohorts: draft ``fraction`` of the fleet.
+
+    Every client's inclusion probability is the cohort fraction
+    (``q_n = max(1, round(fraction * N)) / N``), capped at its ``q_max``;
+    prices and spending are zero. Unbiased — every ``q_n > 0`` — but
+    clients bear their own costs, so utilities are typically negative, and
+    the allocation ignores data quality entirely.
+    """
+
+    name = "random"
+
+    def __init__(self, fraction: float = 0.25):
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+        self.spec_params = (("fraction", self.fraction),)
+
+    def apply(self, problem: ServerProblem) -> PricingOutcome:
+        population = problem.population
+        cohort = max(1, round(self.fraction * population.num_clients))
+        q = np.minimum(
+            np.full(population.num_clients, cohort / population.num_clients),
+            population.q_max,
+        )
+        prices = np.zeros(population.num_clients)
+        utilities = population_utilities(problem, q, prices)
+        gap = problem.objective_gap(q)
+        return PricingOutcome(
+            scheme=self.name,
+            prices=prices,
+            q=q,
+            spending=0.0,
+            objective_gap=gap,
+            expected_loss=problem.f_star + gap,
+            client_utilities=utilities,
+        )
+
+
+#: Every mechanism the scenario layer can name, keyed by its CLI name.
+MECHANISMS: Dict[str, Type[PricingScheme]] = {
+    "proposed": OptimalPricing,
+    "weighted": WeightedPricing,
+    "uniform": UniformPricing,
+    "full": FullParticipationMechanism,
+    "fixed-subset": FixedSubsetMechanism,
+    "random": RandomSelectionMechanism,
+}
+
+
+def build_mechanism(name: str, **kwargs) -> PricingScheme:
+    """Instantiate the mechanism registered under ``name``."""
+    if name not in MECHANISMS:
+        raise ValueError(
+            f"unknown mechanism {name!r}; choose from {sorted(MECHANISMS)}"
+        )
+    return MECHANISMS[name](**kwargs)
+
+
+def default_mechanisms() -> List[PricingScheme]:
+    """The baseline-comparison suite: proposed plus four ablations."""
+    return [
+        OptimalPricing(),
+        UniformPricing(),
+        FullParticipationMechanism(),
+        FixedSubsetMechanism(),
+        RandomSelectionMechanism(),
+    ]

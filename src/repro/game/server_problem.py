@@ -27,7 +27,7 @@ The two must agree — a cross-check the test suite enforces.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

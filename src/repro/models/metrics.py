@@ -12,7 +12,6 @@ to the historical per-shard loop transparently.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

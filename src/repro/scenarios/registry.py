@@ -1,0 +1,150 @@
+"""The scenario registry and the built-in scenario suite.
+
+Scenarios register by name; the CLI's ``scenarios list|run|compare`` verbs
+and the CI matrix are all driven off this registry, so registering a new
+scenario is the *only* step needed to get it exercised everywhere (CI runs
+every registered scenario — new ones cannot silently rot).
+
+Built-in suite
+==============
+
+* ``paper-default`` — the paper's own regime (Setup 1, independent
+  Bernoulli). Under the ``proposed`` mechanism this reproduces the Fig.-4
+  runs bit-exactly and shares their cache entries.
+* ``high-value`` — intrinsic values x20 (the Fig.-5 right edge): clients
+  want the model badly enough that bi-directional payments kick in.
+* ``budget-crunch`` — one quarter of the budget (the Fig.-7 left edge):
+  mechanisms fight over scarce incentive mass.
+* ``homogeneous-cheap`` — near-homogeneous, cheap clients (heterogeneity
+  0.25, costs x0.25): the regime where naive baselines should look best.
+* ``flash-crowd`` — correlated participation (60% synchronized rounds):
+  the Sun-et-al.-style regime that stresses unbiased aggregation variance.
+* ``intermittent-fleet`` — devices drop on/off via a two-state Markov
+  chain; effective inclusion is availability x willingness.
+* ``megafleet`` — 10,000 clients, game layer only: exercises the
+  vectorized best-response/equilibrium path at production fleet size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fl.participation import ParticipationSpec
+from repro.scenarios.spec import PopulationSpec, ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (keyed by ``spec.name``).
+
+    Args:
+        spec: The scenario to register.
+        replace: Allow overwriting an existing name (tests and downstream
+            packages re-registering tweaked variants).
+
+    Returns:
+        ``spec`` unchanged, so the call composes with assignment.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered; pass "
+            "replace=True to overwrite"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (mainly for test isolation)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# Built-in suite ---------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-default",
+        description="The paper's own regime: Setup 1, independent "
+        "Bernoulli participation",
+        tags=("paper",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="high-value",
+        description="Intrinsic values x20 (Fig.-5 right edge): "
+        "bi-directional payments dominate",
+        population=PopulationSpec(value_factor=20.0),
+        tags=("economy",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="budget-crunch",
+        description="Quarter budget (Fig.-7 left edge): incentive mass is "
+        "scarce",
+        population=PopulationSpec(budget_factor=0.25),
+        tags=("economy",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="homogeneous-cheap",
+        description="Near-homogeneous cheap clients: the regime where "
+        "naive baselines look best",
+        population=PopulationSpec(cost_factor=0.25, heterogeneity=0.25),
+        tags=("economy",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flash-crowd",
+        description="Correlated participation (60% synchronized rounds) "
+        "a la Sun et al.",
+        participation=ParticipationSpec(kind="correlated", correlation=0.6),
+        tags=("participation",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="intermittent-fleet",
+        description="Devices flap via an on/off Markov chain; inclusion = "
+        "availability x willingness",
+        participation=ParticipationSpec(
+            kind="intermittent", on_to_off=0.2, off_to_on=0.4
+        ),
+        tags=("participation",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="megafleet",
+        description="10k clients through the vectorized game layer "
+        "(equilibrium only, no training)",
+        population=PopulationSpec(num_clients=10_000),
+        train=False,
+        tags=("scale",),
+    )
+)

@@ -9,7 +9,7 @@ completion times for that fluid model by stepping through rate-change events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -10,8 +10,8 @@ client-specific to capture non-IID data), data weights ``a_n``, the optima
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

@@ -17,7 +17,7 @@ pilot measurements (:func:`repro.theory.estimation.fit_bound_scale`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -29,10 +29,10 @@ from repro.fl.participation import BernoulliParticipation, FullParticipation
 from repro.fl.trainer import FederatedTrainer
 from repro.models.base import Model
 from repro.models.metrics import global_loss
-from repro.models.optim import gradient_descent, minimize_loss
+from repro.models.optim import minimize_loss
 from repro.theory.assumptions import ProblemConstants
-from repro.theory.bound import ConvergenceBound, heterogeneity_term
-from repro.utils.rng import RngFactory, SeedLike
+from repro.theory.bound import heterogeneity_term
+from repro.utils.rng import RngFactory
 
 
 @dataclass(frozen=True)

@@ -5,8 +5,11 @@ import pytest
 
 from repro.fl import (
     BernoulliParticipation,
+    CorrelatedParticipation,
     FixedSubsetParticipation,
     FullParticipation,
+    IntermittentAvailabilityParticipation,
+    ParticipationSpec,
     UniformSamplingParticipation,
 )
 
@@ -89,3 +92,93 @@ class TestUniformSampling:
     def test_invalid_cohort_rejected(self):
         with pytest.raises(ValueError):
             UniformSamplingParticipation(5, cohort_size=6)
+
+
+class TestCorrelated:
+    def test_marginals_match_q_at_any_correlation(self):
+        q = np.array([0.2, 0.5, 0.8])
+        for correlation in (0.0, 0.5, 1.0):
+            model = CorrelatedParticipation(q, correlation=correlation, rng=2)
+            draws = np.stack([model.sample_round(r) for r in range(6000)])
+            assert np.allclose(draws.mean(axis=0), q, atol=0.03), correlation
+
+    def test_synchronized_rounds_are_comonotone(self):
+        """At correlation 1 with equal q, rounds are all-or-nothing."""
+        q = np.full(4, 0.5)
+        model = CorrelatedParticipation(q, correlation=1.0, rng=3)
+        for r in range(200):
+            mask = model.sample_round(r)
+            assert mask.all() or not mask.any()
+
+    def test_correlation_raises_joint_participation(self):
+        q = np.array([0.5, 0.5])
+        independent = CorrelatedParticipation(q, correlation=0.0, rng=4)
+        synchronized = CorrelatedParticipation(q, correlation=1.0, rng=4)
+        joint = [
+            np.mean(
+                [
+                    model.sample_round(r).all()
+                    for r in range(4000)
+                ]
+            )
+            for model in (independent, synchronized)
+        ]
+        assert joint[0] == pytest.approx(0.25, abs=0.03)
+        assert joint[1] == pytest.approx(0.5, abs=0.03)
+
+    def test_inclusion_probabilities_are_q(self):
+        q = np.array([0.3, 0.7])
+        model = CorrelatedParticipation(q, correlation=0.6)
+        assert np.array_equal(model.inclusion_probabilities, q)
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ValueError, match="correlation"):
+            CorrelatedParticipation([0.5], correlation=1.5)
+
+
+class TestParticipationSpec:
+    def test_build_dispatches_by_kind(self):
+        q = [0.4, 0.6]
+        assert isinstance(
+            ParticipationSpec().build(q), BernoulliParticipation
+        )
+        assert isinstance(
+            ParticipationSpec(kind="correlated").build(q),
+            CorrelatedParticipation,
+        )
+        assert isinstance(
+            ParticipationSpec(kind="intermittent").build(q),
+            IntermittentAvailabilityParticipation,
+        )
+
+    def test_bernoulli_build_matches_direct_construction(self):
+        """The spec path must consume the exact same RNG stream."""
+        q = np.array([0.3, 0.6, 0.9])
+        direct = BernoulliParticipation(q, rng=11)
+        specced = ParticipationSpec().build(q, rng=11)
+        for r in range(50):
+            assert np.array_equal(
+                direct.sample_round(r), specced.sample_round(r)
+            )
+
+    def test_effective_inclusion(self):
+        q = np.array([0.5, 1.0])
+        assert np.array_equal(
+            ParticipationSpec().effective_inclusion(q), q
+        )
+        assert np.array_equal(
+            ParticipationSpec(kind="correlated").effective_inclusion(q), q
+        )
+        spec = ParticipationSpec(
+            kind="intermittent", on_to_off=0.25, off_to_on=0.75
+        )
+        np.testing.assert_allclose(
+            spec.effective_inclusion(q), 0.75 * q
+        )
+        model = spec.build(q, rng=0)
+        np.testing.assert_allclose(
+            model.inclusion_probabilities, spec.effective_inclusion(q)
+        )
+
+    def test_spec_is_hashable(self):
+        assert len({ParticipationSpec(), ParticipationSpec()}) == 1

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datasets import Dataset, FederatedDataset
+from repro.datasets import Dataset
 from repro.fl import (
     BernoulliParticipation,
     FederatedTrainer,
@@ -13,11 +13,7 @@ from repro.fl import (
     FullParticipation,
     ParticipantsOnlyAggregator,
 )
-from repro.models import (
-    MultinomialLogisticRegression,
-    RidgeRegression,
-    constant_schedule,
-)
+from repro.models import MultinomialLogisticRegression, constant_schedule
 from repro.utils.rng import RngFactory
 
 

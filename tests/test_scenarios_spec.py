@@ -1,0 +1,187 @@
+"""Tests for scenario specs: round-trips, fingerprints, and the registry."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.fl import ParticipationSpec
+from repro.scenarios import (
+    PopulationSpec,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+
+FULLY_CUSTOM = ScenarioSpec(
+    name="custom",
+    description="everything non-default",
+    setup="setup2",
+    population=PopulationSpec(
+        num_clients=123,
+        cost_factor=0.5,
+        value_factor=3.0,
+        budget_factor=2.0,
+        heterogeneity=1.5,
+        q_max=0.8,
+    ),
+    participation=ParticipationSpec(kind="correlated", correlation=0.7),
+    train=False,
+    tags=("a", "b"),
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ScenarioSpec(name="plain"),
+            FULLY_CUSTOM,
+            ScenarioSpec(
+                name="intermittent",
+                participation=ParticipationSpec(
+                    kind="intermittent", on_to_off=0.15, off_to_on=0.45
+                ),
+            ),
+        ],
+        ids=lambda spec: spec.name,
+    )
+    def test_spec_json_spec_is_lossless(self, spec):
+        through_json = json.loads(json.dumps(spec.to_doc()))
+        assert ScenarioSpec.from_doc(through_json) == spec
+
+    def test_from_doc_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a scenario document"):
+            ScenarioSpec.from_doc({"format": "outcome/v1"})
+
+    def test_participation_spec_round_trip(self):
+        spec = ParticipationSpec(kind="intermittent", on_to_off=0.2)
+        assert ParticipationSpec.from_doc(spec.to_doc()) == spec
+
+    def test_participation_doc_only_carries_relevant_fields(self):
+        # Irrelevant knobs must not leak into cache-key documents.
+        assert ParticipationSpec().to_doc() == {"kind": "bernoulli"}
+        assert set(
+            ParticipationSpec(kind="correlated").to_doc()
+        ) == {"kind", "correlation"}
+
+    def test_specs_are_hashable(self):
+        assert len({ScenarioSpec(name="plain"), FULLY_CUSTOM}) == 2
+
+
+class TestFingerprints:
+    def test_fingerprint_changes_with_any_field(self):
+        base = ScenarioSpec(name="x")
+        assert base.fingerprint() != FULLY_CUSTOM.fingerprint()
+        assert (
+            base.fingerprint()
+            != ScenarioSpec(
+                name="x", population=PopulationSpec(cost_factor=2.0)
+            ).fingerprint()
+        )
+
+    def test_population_fingerprint_ignores_labels_and_participation(self):
+        a = ScenarioSpec(name="a", description="one")
+        b = ScenarioSpec(
+            name="b",
+            description="two",
+            participation=ParticipationSpec(kind="correlated"),
+            tags=("t",),
+        )
+        assert a.population_fingerprint() == b.population_fingerprint()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_population_fingerprint_tracks_the_economy(self):
+        a = ScenarioSpec(name="a")
+        b = ScenarioSpec(
+            name="a", population=PopulationSpec(budget_factor=0.5)
+        )
+        assert a.population_fingerprint() != b.population_fingerprint()
+
+    def test_fingerprint_is_stable_across_processes(self):
+        """The cache-key property: the same spec hashes identically in a
+        fresh interpreter."""
+        code = (
+            "from repro.scenarios import ScenarioSpec, PopulationSpec\n"
+            "from repro.fl import ParticipationSpec\n"
+            "spec = ScenarioSpec(name='custom', description='everything "
+            "non-default', setup='setup2', population=PopulationSpec("
+            "num_clients=123, cost_factor=0.5, value_factor=3.0, "
+            "budget_factor=2.0, heterogeneity=1.5, q_max=0.8), "
+            "participation=ParticipationSpec(kind='correlated', "
+            "correlation=0.7), train=False, tags=('a', 'b'))\n"
+            "print(spec.fingerprint())\n"
+            "print(spec.population_fingerprint())\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        remote_full, remote_population = result.stdout.split()
+        assert remote_full == FULLY_CUSTOM.fingerprint()
+        assert remote_population == FULLY_CUSTOM.population_fingerprint()
+
+
+class TestValidation:
+    def test_bad_setup_rejected(self):
+        with pytest.raises(ValueError, match="unknown setup"):
+            ScenarioSpec(name="x", setup="setup9")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ScenarioSpec(name="")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_clients": 0},
+            {"cost_factor": 0.0},
+            {"value_factor": -1.0},
+            {"budget_factor": -2.0},
+            {"heterogeneity": -0.1},
+            {"q_max": 1.5},
+        ],
+    )
+    def test_bad_population_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PopulationSpec(**kwargs)
+
+    def test_bad_participation_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown participation kind"):
+            ParticipationSpec(kind="psychic")
+
+
+class TestRegistry:
+    def test_builtin_suite_is_complete(self):
+        names = [spec.name for spec in list_scenarios()]
+        assert len(names) >= 6
+        assert names == sorted(names)
+        assert "paper-default" in names
+        assert "megafleet" in names
+        kinds = {spec.participation.kind for spec in list_scenarios()}
+        assert {"bernoulli", "correlated", "intermittent"} <= kinds
+
+    def test_paper_default_is_flagged(self):
+        assert get_scenario("paper-default").is_paper_default
+        assert not get_scenario("megafleet").is_paper_default
+        assert not get_scenario("flash-crowd").is_paper_default
+
+    def test_duplicate_registration_rejected(self):
+        spec = ScenarioSpec(name="dup-test")
+        register_scenario(spec)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(spec)
+            register_scenario(
+                ScenarioSpec(name="dup-test", description="v2"), replace=True
+            )
+            assert get_scenario("dup-test").description == "v2"
+        finally:
+            unregister_scenario("dup-test")
+        with pytest.raises(KeyError):
+            get_scenario("dup-test")

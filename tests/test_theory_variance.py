@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fl import ParticipantsOnlyAggregator, UnbiasedDeltaAggregator
+from repro.fl import ParticipantsOnlyAggregator
 from repro.theory import (
     empirical_aggregation_moments,
     full_participation_aggregate,
