@@ -1,0 +1,51 @@
+"""Memory-bounded training benchmark: eager vs streaming storage modes.
+
+Archives ``bench_memory.json`` via the ``bench memory`` CLI verb: each
+mode trains the same mid-sized federation in its own spawned subprocess,
+so the recorded ``ru_maxrss`` is a faithful per-mode peak-RSS reading.
+The peak-RSS *ratio* is reported, not asserted (the interpreter + numpy
+baseline dominates at small scales and varies with the host); what is
+asserted is the pipeline's contract — bit-identical histories — plus the
+allocation-level bound that streaming's traced peak stays below eager's.
+
+The time/memory trade is expected and honest: streaming regenerates
+shards on demand (slower, bounded memory) where eager holds the whole
+federation resident (faster, O(total samples) memory).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.configs import resolve_scale
+
+
+def test_bench_memory_verb(bench_results_dir):
+    """Run the CLI verb end to end; exit 0 asserts bit-identity."""
+    scale = resolve_scale()
+    exit_code = cli_main(
+        [
+            "--scale", scale.name,
+            "--out", str(bench_results_dir),
+            "bench", "memory",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(
+        (bench_results_dir / "bench_memory.json").read_text()
+    )
+    assert payload["identical"] is True
+    assert (
+        payload["streaming"]["traced_peak_bytes"]
+        < payload["eager"]["traced_peak_bytes"]
+    )
+    print(
+        f"\nbench memory ({scale.name}, {payload['num_clients']} clients): "
+        f"eager {payload['eager']['peak_rss_kib'] / 1024:.0f} MiB RSS / "
+        f"{payload['eager']['wall_s']:.2f}s, streaming "
+        f"{payload['streaming']['peak_rss_kib'] / 1024:.0f} MiB RSS / "
+        f"{payload['streaming']['wall_s']:.2f}s "
+        f"(RSS ratio {payload['peak_rss_ratio']:.2f}x, traced "
+        f"{payload['traced_peak_ratio']:.2f}x)"
+    )

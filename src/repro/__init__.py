@@ -50,7 +50,10 @@ from repro.theory import ConvergenceBound, ProblemConstants
 # 1.1.0: evaluation metrics moved to a single stacked pass (per-shard loss
 # values can shift by ~1 ulp), so the cache-key code component is bumped and
 # pre-1.1 result-store entries recompute rather than mix numerics.
-__version__ = "1.1.0"
+# 1.2.0: evaluation chunks at EVAL_CHUNK_SAMPLES client-aligned samples
+# (federations larger than one chunk — paper scale and megafleets — shift
+# by ~1 ulp again); stale result-store entries recompute via the code key.
+__version__ = "1.2.0"
 
 
 def quickstart_equilibrium(

@@ -13,12 +13,22 @@ from repro.datasets.partition import (
     partition_by_label_limit,
     power_law_sizes,
 )
+from repro.datasets.streaming import (
+    LazyShard,
+    StreamingFederatedDataset,
+    SyntheticShardProvider,
+    streaming_synthetic_federated,
+)
 from repro.datasets.synthetic import synthetic_federated
 
 __all__ = [
     "Dataset",
     "concatenate",
     "FederatedDataset",
+    "LazyShard",
+    "StreamingFederatedDataset",
+    "SyntheticShardProvider",
+    "streaming_synthetic_federated",
     "synthetic_federated",
     "class_conditional_dataset",
     "mnist_like",

@@ -58,6 +58,18 @@ class Dataset:
         """Dimensionality of the feature vectors."""
         return int(self.features.shape[1])
 
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(features, labels)`` in one call.
+
+        The accessor lazy shard views share: on a
+        :class:`~repro.datasets.streaming.LazyShard` it materializes the
+        shard exactly once, where reading ``.features`` and ``.labels``
+        separately could regenerate it twice when the provider cache is
+        disabled. Bulk consumers (the chunked trainer gather, chunked
+        evaluation) read shards through this.
+        """
+        return self.features, self.labels
+
     def subset(self, indices: Sequence[int]) -> "Dataset":
         """Return the dataset restricted to ``indices`` (copying)."""
         indices = np.asarray(indices, dtype=int)

@@ -26,6 +26,12 @@ class FederatedDataset:
     test_dataset: Dataset
     name: str = "federated"
 
+    #: Dispatch flag read by the trainer/metrics layers: eager federations
+    #: hold all shards resident;
+    #: :class:`repro.datasets.streaming.StreamingFederatedDataset`
+    #: reports ``True`` and regenerates shards on demand.
+    streaming = False
+
     def __post_init__(self) -> None:
         if not self.client_datasets:
             raise ValueError("a federated dataset needs at least one client")

@@ -38,15 +38,22 @@ def _softmax_rows(logits: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=1, keepdims=True)
 
 
-def _client_shard(
+def client_shard_arrays(
     size: int,
     alpha: float,
     beta: float,
     dim: int,
     num_classes: int,
     generator: np.random.Generator,
-) -> Dataset:
-    """Generate one client's local dataset from its private model."""
+) -> tuple:
+    """One client's ``(features, labels)`` draw from its private model.
+
+    This is the whole per-client generative recipe as one function of a
+    generator, shared by the eager builder (which walks one sequential
+    generator across clients) and the streaming shard provider (which
+    hands each client its own derived stream and replays this recipe on
+    every regeneration — so regenerated shards are bit-identical).
+    """
     u_k = generator.normal(0.0, np.sqrt(alpha)) if alpha > 0 else 0.0
     big_b_k = generator.normal(0.0, np.sqrt(beta)) if beta > 0 else 0.0
     weight = generator.normal(u_k, 1.0, size=(num_classes, dim))
@@ -57,6 +64,21 @@ def _client_shard(
     features = mean + generator.normal(size=(size, dim)) * np.sqrt(covariance_diag)
     probabilities = _softmax_rows(features @ weight.T + bias)
     labels = probabilities.argmax(axis=1)
+    return features, labels
+
+
+def _client_shard(
+    size: int,
+    alpha: float,
+    beta: float,
+    dim: int,
+    num_classes: int,
+    generator: np.random.Generator,
+) -> Dataset:
+    """Generate one client's local dataset from its private model."""
+    features, labels = client_shard_arrays(
+        size, alpha, beta, dim, num_classes, generator
+    )
     return Dataset(features=features, labels=labels, num_classes=num_classes)
 
 

@@ -1,18 +1,16 @@
 """``python -m repro.experiments`` — regenerate tables/figures from the CLI."""
 
-import os
 import sys
 
-from repro.experiments.cli import main
+from repro.experiments.cli import _quiet_pipe_exit, main
 
 if __name__ == "__main__":
     try:
-        sys.exit(main())
+        sys.exit(main(standalone=True))
     except BrokenPipeError:
-        # Downstream consumer (e.g. ``| head``) closed the pipe; exit
-        # quietly like a well-behaved Unix filter instead of tracebacking.
-        # Python re-flushes stdout at interpreter shutdown, so detach it
-        # onto devnull first to suppress the secondary error.
-        devnull = os.open(os.devnull, os.O_WRONLY)
-        os.dup2(devnull, sys.stdout.fileno())
+        # main() already handles pipe loss around its own writes (every
+        # verb, including the scenarios ones); this outer guard covers the
+        # residual window — e.g. a final interpreter-level flush — so no
+        # entry path can ever traceback on a closed pipe.
+        _quiet_pipe_exit()
         sys.exit(1)

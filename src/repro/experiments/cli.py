@@ -134,6 +134,12 @@ def _add_common_options(
         help="trainer local-SGD engine (bit-identical results; "
         "'loop' is the slow reference path)",
     )
+    parser.add_argument(
+        "--chunk-size", type=int, default=default(None), metavar="CLIENTS",
+        help="memory-bounded stack width for training runs (bit-identical "
+        "results; default: full-width for eager setups, a bounded chunk "
+        "for streaming megafleet scenarios)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -210,14 +216,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = add_verb(
         "bench",
-        help="benchmark the orchestrator or the trainer backends",
+        help="benchmark the orchestrator, the trainer backends, or the "
+        "memory-bounded training pipeline",
     )
     bench.add_argument(
-        "target", nargs="?", choices=("orchestrator", "trainer"),
+        "target", nargs="?", choices=("orchestrator", "trainer", "memory"),
         default="orchestrator",
         help="orchestrator: serial vs parallel wall-clock on the Fig.-4 "
         "grid; trainer: loop vs vectorized local-SGD engines on the "
-        "Fig.-4 workload",
+        "Fig.-4 workload; memory: eager vs streaming peak RSS on a "
+        "mid-sized fleet (isolated subprocesses)",
     )
     bench.add_argument(
         "--repeats", type=int, default=None,
@@ -238,10 +246,14 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         args.jobs == 1
         and args.cache_dir is None
         and args.backend == "vectorized"
+        and args.chunk_size is None
     ):
         return None
     return ExperimentOrchestrator(
-        jobs=args.jobs, cache_dir=args.cache_dir, backend=args.backend
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
     )
 
 
@@ -610,6 +622,206 @@ def _cmd_bench_trainer(args) -> int:
     return 0 if identical else 1
 
 
+#: Fleet shape of the ``bench memory`` measurement per scale profile:
+#: (num_clients, samples_per_client, rounds, local_steps).
+_MEMORY_BENCH_FLEETS = {
+    "ci": (300, 60, 4, 4),
+    "bench": (1_200, 60, 6, 5),
+    "paper": (4_000, 60, 6, 5),
+}
+
+
+def _bench_memory_worker(mode: str, profile: tuple, seed: int, queue) -> None:
+    """Run one storage mode's training in a clean process and report
+    ``(wall seconds, tracemalloc peak, ru_maxrss KiB, history digest)``.
+
+    Runs under the ``spawn`` start method so each mode's ``ru_maxrss`` is
+    its own process's true peak RSS, not a copy-on-write echo of the
+    parent's.
+    """
+    import resource
+    import tracemalloc
+
+    import numpy as np
+
+    from repro.datasets import streaming_synthetic_federated
+    from repro.fl import BernoulliParticipation, FederatedTrainer
+    from repro.models import MultinomialLogisticRegression
+    from repro.utils.rng import RngFactory
+    from repro.utils.serialization import content_address, history_to_doc
+
+    num_clients, per_client, rounds, local_steps = profile
+    federated = streaming_synthetic_federated(
+        num_clients,
+        total_samples=num_clients * per_client,
+        seed=seed,
+        test_clients=64,
+        max_size=4 * per_client,
+    )
+    if mode == "eager":
+        federated = federated.materialize()
+    model = MultinomialLogisticRegression(
+        num_features=federated.num_features,
+        num_classes=federated.num_classes,
+        l2=1e-2,
+    )
+    q = np.full(num_clients, 0.3)
+    factory = RngFactory(seed)
+    trainer = FederatedTrainer(
+        model,
+        federated,
+        BernoulliParticipation(q, rng=factory.make("participation")),
+        local_steps=local_steps,
+        batch_size=24,
+        eval_every=2,
+        rng_factory=factory,
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    history = trainer.run(rounds)
+    wall_s = time.perf_counter() - start
+    _, traced_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    queue.put(
+        (
+            mode,
+            wall_s,
+            int(traced_peak),
+            int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+            content_address(history_to_doc(history)),
+        )
+    )
+
+
+def _cmd_bench_memory(args) -> int:
+    """Benchmark eager vs streaming peak memory on a mid-sized fleet.
+
+    Each storage mode trains the *same* federation (the streaming build
+    and its materialized eager twin) at the same participation vector in
+    its own spawned subprocess, so ``ru_maxrss`` is a faithful per-mode
+    peak-RSS reading. Exits non-zero unless the two modes' histories are
+    bit-identical; archives the comparison as
+    ``benchmarks/results/bench/bench_memory.json`` (the ``--out``/scale
+    conventions match ``bench trainer``).
+    """
+    import multiprocessing
+
+    prepared_scale = resolve_scale(args.scale)
+    profile = _MEMORY_BENCH_FLEETS[prepared_scale.name]
+    context = multiprocessing.get_context("spawn")
+    results = {}
+    for mode in ("eager", "streaming"):
+        queue = context.Queue()
+        process = context.Process(
+            target=_bench_memory_worker,
+            args=(mode, profile, args.seed, queue),
+        )
+        process.start()
+        deadline = time.monotonic() + 1_800
+        result = None
+        while result is None:
+            try:
+                # Short poll so a crashed worker fails the bench within
+                # seconds instead of consuming the whole time budget.
+                result = queue.get(timeout=2)
+            except Exception:
+                if not process.is_alive():
+                    # The result may still be in flight through the queue
+                    # feeder; give it one grace read before declaring the
+                    # worker dead.
+                    try:
+                        result = queue.get(timeout=2)
+                        continue
+                    except Exception:
+                        pass
+                    process.join(5)
+                    raise RuntimeError(
+                        f"bench memory: the {mode} worker died without "
+                        f"reporting (exit code {process.exitcode})"
+                    )
+                if time.monotonic() > deadline:
+                    process.terminate()
+                    process.join(5)
+                    raise RuntimeError(
+                        f"bench memory: the {mode} worker exceeded the "
+                        "30-minute budget and was terminated"
+                    )
+        mode_name, wall_s, traced, rss_kb, digest = result
+        process.join()
+        results[mode_name] = {
+            "wall_s": wall_s,
+            "traced_peak_bytes": traced,
+            "peak_rss_kib": rss_kb,
+            "history_digest": digest,
+        }
+    identical = (
+        results["eager"]["history_digest"]
+        == results["streaming"]["history_digest"]
+    )
+    rss_ratio = (
+        results["eager"]["peak_rss_kib"]
+        / max(results["streaming"]["peak_rss_kib"], 1)
+    )
+    traced_ratio = (
+        results["eager"]["traced_peak_bytes"]
+        / max(results["streaming"]["traced_peak_bytes"], 1)
+    )
+    num_clients, per_client, rounds, local_steps = profile
+    rows = [
+        [
+            mode,
+            entry["peak_rss_kib"] / 1024.0,
+            entry["traced_peak_bytes"] / 1e6,
+            entry["wall_s"],
+        ]
+        for mode, entry in results.items()
+    ]
+    print(
+        render_table(
+            ["mode", "peak RSS MiB", "traced peak MB", "wall-clock s"],
+            rows,
+            title=(
+                f"Memory-bounded training ({num_clients} clients x "
+                f"{per_client} samples, {rounds} rounds, scale "
+                f"{prepared_scale.name})"
+            ),
+            float_format=",.2f",
+        )
+    )
+    print(
+        f"eager/streaming peak RSS ratio: {rss_ratio:.2f}x "
+        f"(traced allocations: {traced_ratio:.2f}x)"
+    )
+    print(f"eager == streaming (bit-identical histories): {identical}")
+    if args.out:
+        out_dir, filename = args.out, "bench_memory.json"
+    else:
+        out_dir = Path("benchmarks") / "results" / "bench"
+        filename = (
+            "bench_memory.json"
+            if prepared_scale.name == "bench"
+            else f"bench_memory_{prepared_scale.name}.json"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    save_json(
+        {
+            "scale": prepared_scale.name,
+            "seed": args.seed,
+            "num_clients": num_clients,
+            "samples_per_client": per_client,
+            "num_rounds": rounds,
+            "local_steps": local_steps,
+            "eager": results["eager"],
+            "streaming": results["streaming"],
+            "peak_rss_ratio": rss_ratio,
+            "traced_peak_ratio": traced_ratio,
+            "identical": identical,
+        },
+        out_dir / filename,
+    )
+    return 0 if identical else 1
+
+
 def _cmd_bench(args) -> int:
     """Benchmark the orchestrator on the Fig.-4 grid (3 schemes x repeats).
 
@@ -734,14 +946,8 @@ def _summary_table(comparison) -> str:
     )
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = _build_parser()
-    args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.out:
-        args.out.mkdir(parents=True, exist_ok=True)
+def _dispatch(args) -> int:
+    """Route parsed arguments to their verb handler."""
     if args.command == "table":
         return _cmd_table(args)
     if args.command == "fig":
@@ -755,8 +961,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         if args.target == "trainer":
             return _cmd_bench_trainer(args)
+        if args.target == "memory":
+            return _cmd_bench_memory(args)
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _quiet_pipe_exit() -> None:
+    """Silence the rest of a run whose stdout consumer went away.
+
+    Python re-flushes stdout at interpreter shutdown, which would raise a
+    *second* ``BrokenPipeError`` (and print its traceback) after the first
+    was already handled; pointing the stdout file descriptor at devnull
+    makes that final flush a no-op. Streams without a real descriptor
+    (pytest's capture buffers) have nothing to silence.
+    """
+    import os
+
+    try:
+        descriptor = sys.stdout.fileno()
+    except (AttributeError, OSError, ValueError):
+        return
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    os.dup2(devnull, descriptor)
+    os.close(devnull)
+
+
+def main(
+    argv: Optional[Sequence[str]] = None, *, standalone: bool = False
+) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Every verb — including the scenario verbs, whose ``list --json``
+    output is routinely piped into ``head``/``jq`` by the CI matrix —
+    exits quietly (code 1, no traceback) when the downstream consumer
+    closes the pipe, like a well-behaved Unix filter. The flush inside
+    the ``try`` makes the handler catch buffered-write failures here
+    rather than at interpreter shutdown.
+
+    ``standalone=True`` (the ``python -m`` path) additionally points the
+    stdout descriptor at devnull on pipe loss, so the interpreter's final
+    re-flush cannot traceback. Programmatic callers get the quiet code-1
+    contract *without* that process-wide side effect — their stdout is
+    theirs to manage.
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.chunk_size is not None and args.chunk_size < 1:
+        parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+    try:
+        code = _dispatch(args)
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        if standalone:
+            _quiet_pipe_exit()
+        return 1
 
 
 if __name__ == "__main__":

@@ -201,6 +201,10 @@ class TrainJob:
     **not** part of :meth:`key_fields`: the vectorized and loop engines
     produce bit-identical histories, so a result cached under one backend
     is the other's result too — switching backends must not fork the cache.
+    ``chunk_size`` (the memory-bounded stack width) is excluded for the
+    same reason: every chunking — and the streaming-vs-eager storage
+    choice it usually rides with — produces bit-identical histories, so a
+    store warmed at any chunk width serves every other.
 
     ``participation`` (a :class:`~repro.fl.ParticipationSpec`) and
     ``exclude_zero`` are the scenario layer's knobs on
@@ -215,6 +219,7 @@ class TrainJob:
     backend: str = "vectorized"
     participation: Optional[Any] = None
     exclude_zero: bool = False
+    chunk_size: Optional[int] = None
 
     kind = "train"
 
@@ -466,6 +471,7 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
             backend=spec.backend,
             participation=spec.participation,
             exclude_zero=spec.exclude_zero,
+            chunk_size=spec.chunk_size,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
@@ -509,6 +515,11 @@ class ExperimentOrchestrator:
             builds (``"vectorized"`` or ``"loop"``). Results are
             bit-identical either way, so the choice never enters cache
             keys — it only changes how fast misses compute.
+        chunk_size: Memory-bounded stack width for the train jobs this
+            orchestrator builds (``None`` = the trainer's default:
+            full-width for eager setups, a bounded chunk for streaming
+            ones). Also excluded from cache keys — chunking never changes
+            results, only peak memory.
     """
 
     def __init__(
@@ -518,11 +529,13 @@ class ExperimentOrchestrator:
         *,
         store: Optional[ResultStore] = None,
         backend: str = "vectorized",
+        chunk_size: Optional[int] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = int(jobs)
         self.backend = backend
+        self.chunk_size = chunk_size
         if store is not None:
             self.store = store
         elif cache_dir is not None:
@@ -781,6 +794,7 @@ class ExperimentOrchestrator:
                 backend=self.backend,
                 participation=participation,
                 exclude_zero=exclude_zero and 0.0 in q_vector,
+                chunk_size=self.chunk_size,
             )
 
         nodes: List[JobNode] = []
@@ -887,6 +901,7 @@ class ExperimentOrchestrator:
                                 ),
                                 seed=s,
                                 backend=self.backend,
+                                chunk_size=self.chunk_size,
                             ),
                         )
                     )

@@ -65,6 +65,7 @@ def run_history(
     backend: str = "vectorized",
     participation: Optional[ParticipationSpec] = None,
     exclude_zero: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
 
@@ -88,6 +89,11 @@ def run_history(
     regime is trained. The resulting estimator is biased toward the
     included subpopulation — quantified by
     :func:`repro.game.estimator_bias_mass`, not masked by clipping.
+
+    ``chunk_size`` bounds the vectorized engine's stack width (see
+    :class:`~repro.fl.FederatedTrainer`); like ``backend`` it never changes
+    the produced history — streaming/megafleet setups pick a bounded
+    default automatically, eager setups default to the full-width stack.
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
@@ -126,6 +132,7 @@ def run_history(
         eval_every=prepared.eval_every,
         rng_factory=child,
         backend=backend,
+        chunk_size=chunk_size,
     )
     return trainer.run(config.num_rounds)
 

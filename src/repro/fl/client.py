@@ -59,11 +59,14 @@ class FLClient:
         self, global_params: np.ndarray, *, step_size: float, num_steps: int
     ) -> np.ndarray:
         """Run local SGD from ``global_params`` and return ``w_n^{r+1}``."""
+        # One arrays() call: a lazy (streaming) shard materializes once
+        # even with the provider LRU off.
+        features, labels = self.dataset.arrays()
         return sgd_steps(
             self.model,
             global_params,
-            self.dataset.features,
-            self.dataset.labels,
+            features,
+            labels,
             step_size=step_size,
             num_steps=num_steps,
             batch_size=self.batch_size,

@@ -16,6 +16,17 @@ Two compute backends produce **bit-identical** histories:
   would. Clients whose shard is smaller than the batch size draw narrower
   batches and are grouped by batch width (the non-vectorizable escape
   hatch degrades to smaller stacks, never to different numbers).
+
+A third axis — ``chunk_size`` — bounds *memory* instead of picking an
+engine: the vectorized round is processed in stacks of at most
+``chunk_size`` participants, gathering only those clients' shards at a
+time, so peak residency scales with the chunk width rather than the fleet
+size. Because each stack slice is bit-identical to the scalar path, any
+chunking produces the same histories as the full-width stack; chunking is
+a pure memory/speed dial. Streaming federations
+(:class:`~repro.datasets.streaming.StreamingFederatedDataset`) always run
+chunked — their shards regenerate on demand inside each chunk gather and
+are never all resident at once.
 """
 
 from __future__ import annotations
@@ -40,6 +51,10 @@ RoundTimer = Callable[[np.ndarray, int], float]
 
 #: Supported local-SGD execution strategies.
 BACKENDS = ("vectorized", "loop")
+
+#: Default participants-per-stack for streaming federations (eager
+#: federations default to the unbounded full-width stack).
+DEFAULT_CHUNK_SIZE = 64
 
 
 def _unit_round_timer(mask: np.ndarray, round_index: int) -> float:
@@ -71,6 +86,12 @@ class FederatedTrainer:
         backend: ``"vectorized"`` (default) stacks all participants' local
             SGD into batched model kernels; ``"loop"`` runs the reference
             per-client loop. Histories are bit-identical either way.
+        chunk_size: Maximum participants per vectorized stack. ``None``
+            (default) keeps the full-width stack for eager federations and
+            :data:`DEFAULT_CHUNK_SIZE` for streaming ones. Histories are
+            bit-identical for every chunking — the knob only bounds peak
+            memory (gathered shards + kernel workspace scale with the
+            chunk, not the fleet).
     """
 
     def __init__(
@@ -88,6 +109,7 @@ class FederatedTrainer:
         rng_factory: Optional[RngFactory] = None,
         initial_params: Optional[np.ndarray] = None,
         backend: str = "vectorized",
+        chunk_size: Optional[int] = None,
     ):
         if participation.num_clients != federated.num_clients:
             raise ValueError(
@@ -102,7 +124,13 @@ class FederatedTrainer:
             raise ValueError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}"
             )
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.backend = backend
+        self.streaming = bool(getattr(federated, "streaming", False))
+        if chunk_size is None and self.streaming:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         # Concatenated shard arrays for the vectorized backend, built lazily
         # on the first vectorized round (client n's sample i lives at flat
         # row ``offsets[n] + i``).
@@ -163,6 +191,12 @@ class FederatedTrainer:
     def _ensure_flat_shards(self) -> None:
         if self._flat_features is not None:
             return
+        if self.streaming:
+            raise RuntimeError(
+                "the full-width vectorized engine materializes every shard; "
+                "streaming federations must run chunked (chunk_size is set "
+                "automatically — this indicates a trainer bug)"
+            )
         sizes = np.array([len(client.dataset) for client in self.clients])
         self._shard_offsets = np.concatenate(([0], np.cumsum(sizes[:-1])))
         self._flat_features = np.concatenate(
@@ -237,10 +271,80 @@ class FederatedTrainer:
         # the sequential delta aggregation depends on for bit-identity.
         return {client.client_id: updated[client.client_id] for client in active}
 
+    def _local_updates_chunked(
+        self, global_params: np.ndarray, step_size: float, mask: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Memory-bounded engine: vectorized stacks of <= ``chunk_size``.
+
+        Identical math and identical random draws as the full-width
+        vectorized engine — participants are visited in the same ascending
+        client order and each pre-draws its round of batch indices from its
+        own stream — but the active cohort is processed ``chunk_size``
+        clients at a time, gathering only that chunk's shards into a pool
+        sized to the chunk. Peak residency is ``O(chunk_size x max shard)``
+        plus the kernel workspace, independent of the fleet size; with a
+        streaming federation the gathered shards are regenerated on demand
+        and released as the LRU turns over. Because every stack slice is
+        bit-identical to the scalar path (the PR-3 contract), any chunking
+        returns exactly the full-width engine's updates.
+        """
+        active = [client for client in self.clients if mask[client.client_id]]
+        if not active:
+            return {}
+        params0 = np.asarray(global_params, dtype=float)
+        num_features = self.federated.num_features
+        updated: Dict[int, np.ndarray] = {}
+        for start in range(0, len(active), self.chunk_size):
+            chunk = active[start:start + self.chunk_size]
+            groups: Dict[int, List[Tuple[FLClient, np.ndarray]]] = {}
+            for client in chunk:
+                indices = client.draw_batch_indices(self.local_steps)
+                groups.setdefault(indices.shape[1], []).append(
+                    (client, indices)
+                )
+            for members in groups.values():
+                shard_sizes = [
+                    client.num_samples for client, _ in members
+                ]
+                pool_size = int(np.sum(shard_sizes))
+                pool_features = np.empty((pool_size, num_features))
+                pool_labels = np.empty(pool_size, dtype=int)
+                pool_offsets = np.empty(len(members), dtype=int)
+                position = 0
+                for row, (client, _) in enumerate(members):
+                    size = shard_sizes[row]
+                    # One arrays() call per shard: a lazy shard
+                    # materializes once even with the provider LRU off.
+                    features, labels = client.dataset.arrays()
+                    pool_features[position:position + size] = features
+                    pool_labels[position:position + size] = labels
+                    pool_offsets[row] = position
+                    position += size
+                pool_indices = (
+                    np.stack([indices for _, indices in members])
+                    + pool_offsets[:, None, None]
+                )
+                params_stack = self.model.batched_sgd_steps(
+                    np.repeat(params0[None, :], len(members), axis=0),
+                    pool_features,
+                    pool_labels,
+                    pool_indices,
+                    step_size=step_size,
+                )
+                for row, (client, _) in enumerate(members):
+                    updated[client.client_id] = params_stack[row]
+        # Ascending client id, like the other engines (the sequential delta
+        # aggregation depends on this order for bit-identity).
+        return {client.client_id: updated[client.client_id] for client in active}
+
     def _local_updates(
         self, global_params: np.ndarray, step_size: float, mask: np.ndarray
     ) -> Dict[int, np.ndarray]:
         if self.backend == "vectorized":
+            if self.chunk_size is not None:
+                return self._local_updates_chunked(
+                    global_params, step_size, mask
+                )
             return self._local_updates_vectorized(
                 global_params, step_size, mask
             )

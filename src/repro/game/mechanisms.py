@@ -56,6 +56,31 @@ from repro.game.server_problem import ServerProblem
 SpecParams = Optional[Tuple[Tuple[str, float], ...]]
 
 
+def _check_profile(
+    population: ClientPopulation, q: Sequence[float], caller: str
+) -> np.ndarray:
+    """Validate a participation profile against a population.
+
+    Both bias metrics index the population's weight vector with a mask
+    derived from ``q``; a silently mismatched length would raise a cryptic
+    numpy indexing error deep inside, and a NaN entry would propagate as
+    NaN through every downstream comparison metric. Fail loudly instead.
+    """
+    q = np.asarray(q, dtype=float)
+    if q.shape != (population.num_clients,):
+        raise ValueError(
+            f"{caller}: participation profile has shape {q.shape} but the "
+            f"population has {population.num_clients} clients"
+        )
+    if np.isnan(q).any():
+        raise ValueError(
+            f"{caller}: participation profile contains NaN at indices "
+            f"{np.flatnonzero(np.isnan(q)).tolist()}; refusing to "
+            "propagate it into bias metrics"
+        )
+    return q
+
+
 def estimator_bias_mass(
     population: ClientPopulation, q: Sequence[float]
 ) -> float:
@@ -65,9 +90,12 @@ def estimator_bias_mass(
     full-participation update restricted to clients with ``q_n > 0``; the
     estimator's bias is therefore carried entirely by the excluded clients'
     data weights. ``0`` means the estimator is unbiased; ``0.3`` means 30%
-    of the data distribution never enters the model.
+    of the data distribution never enters the model. Every edge is
+    defined: an all-zero profile (nobody ever trains) has bias mass
+    exactly ``1.0``; NaN entries and length mismatches raise a
+    :class:`ValueError` rather than propagating.
     """
-    q = np.asarray(q, dtype=float)
+    q = _check_profile(population, q, "estimator_bias_mass")
     return float(population.weights[q <= 0.0].sum())
 
 
@@ -78,9 +106,12 @@ def subset_objective_gap(problem: ServerProblem, q: Sequence[float]) -> float:
     the *subset federation* the profile actually trains — finite, and
     meaningful alongside :func:`estimator_bias_mass` (which accounts for
     what the subset misses). Equals ``problem.objective_gap(q)`` whenever
-    every client is included.
+    every client is included. An empty subset (all ``q_n = 0`` — the
+    degenerate profile a zero budget can induce) is defined: the penalty
+    sum over no clients is zero, so the gap collapses to the
+    ``beta / R`` floor rather than dividing by zero.
     """
-    q = np.asarray(q, dtype=float)
+    q = _check_profile(problem.population, q, "subset_objective_gap")
     included = q > 0.0
     penalty = float(
         np.sum(

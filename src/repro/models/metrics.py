@@ -2,22 +2,37 @@
 
 The global objective ``F(w) = sum_n a_n F_n(w)`` needs every client's local
 loss at the same parameter vector. Rather than looping ``N`` per-shard model
-calls, :func:`per_client_losses` scores the *concatenated* federation in one
-stacked pass through :meth:`~repro.models.base.Model.sample_losses` and
-segments the per-sample losses back into shard means; :func:`global_loss` is
-its weighted sum. Models without a per-sample loss decomposition fall back
-to the historical per-shard loop transparently.
+calls, :func:`per_client_losses` scores the federation through
+:meth:`~repro.models.base.Model.sample_losses` in **client-aligned
+chunks**: consecutive clients are grouped until a chunk reaches
+:data:`EVAL_CHUNK_SAMPLES` samples, each chunk is one stacked pass, and
+every client's mean is read off its own contiguous slice. Federations that
+fit in a single chunk (every CI/bench-scale run) evaluate in one pooled
+pass — byte-for-byte the historical behavior — while megafleet-scale and
+streaming federations never materialize more than one chunk of samples at
+a time. Chunk boundaries depend only on the shard-size vector, never on
+how shards are stored, so an eager federation and its streaming twin
+produce bit-identical losses. Models without a per-sample loss
+decomposition fall back to the historical per-shard loop transparently
+(one shard resident at a time — also streaming-safe).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from repro.datasets.base import Dataset
 from repro.datasets.federated import FederatedDataset
 from repro.models.base import Model
+
+#: Target samples per evaluation chunk. Chunks group whole clients (a
+#: client's samples never span chunks, so per-client means are computed
+#: from one contiguous slice in either storage mode); a single shard
+#: larger than the target gets its own chunk.
+EVAL_CHUNK_SAMPLES = 4096
 
 
 @dataclass(frozen=True)
@@ -45,32 +60,82 @@ def global_loss(
     )
 
 
+def eval_client_chunks(sizes: np.ndarray) -> Iterator[Tuple[int, int]]:
+    """Client-aligned chunk boundaries ``(start_client, end_client)``.
+
+    Deterministic in the shard-size vector alone: consecutive clients are
+    grouped until adding the next one would push the chunk past
+    :data:`EVAL_CHUNK_SAMPLES` (a lone oversized shard forms its own
+    chunk). Both the eager and the streaming evaluation paths iterate
+    these exact groups, which is what makes their results bit-identical.
+    """
+    num_clients = len(sizes)
+    start = 0
+    while start < num_clients:
+        end = start + 1
+        budget = int(sizes[start])
+        while (
+            end < num_clients
+            and budget + int(sizes[end]) <= EVAL_CHUNK_SAMPLES
+        ):
+            budget += int(sizes[end])
+            end += 1
+        yield start, end
+        start = end
+
+
 def per_client_losses(
     model: Model, params: np.ndarray, federated: FederatedDataset
 ) -> np.ndarray:
     """Vector of local losses ``F_n(w)`` for each client.
 
-    One concatenated pass when the model exposes per-sample losses: the
-    pooled features go through a single model evaluation and each shard's
-    mean is read off the per-sample vector, so the cost is one big matmul
-    instead of ``N`` small ones.
+    One stacked :meth:`~repro.models.base.Model.sample_losses` pass per
+    client-aligned chunk (see :data:`EVAL_CHUNK_SAMPLES`); the whole
+    federation when it fits in one chunk. Peak residency is one chunk of
+    samples, so streaming federations evaluate without ever pooling.
     """
-    pooled = federated.pooled_train()
-    try:
-        samples = model.sample_losses(params, pooled.features, pooled.labels)
-    except NotImplementedError:
-        return np.array(
-            [
-                model.dataset_loss(params, shard)
-                for shard in federated.client_datasets
-            ]
-        )
-    penalty = model.penalty(params)
-    ends = np.cumsum(federated.sizes)
-    starts = np.concatenate(([0], ends[:-1]))
-    return np.array(
-        [
-            float(samples[start:end].mean()) + penalty
-            for start, end in zip(starts, ends)
-        ]
-    )
+    sizes = np.asarray(federated.sizes, dtype=int)
+    shards = federated.client_datasets
+    penalty: float = 0.0
+    losses = np.empty(len(sizes))
+    single_chunk = int(sizes.sum()) <= EVAL_CHUNK_SAMPLES
+    streaming = bool(getattr(federated, "streaming", False))
+    for index, (start, end) in enumerate(eval_client_chunks(sizes)):
+        if single_chunk and not streaming:
+            # Whole-federation chunk on an eager federation: reuse the
+            # cached pooled arrays (same values as assembling the chunk,
+            # without re-concatenating every evaluation).
+            pooled = federated.pooled_train()
+            features, labels = pooled.features, pooled.labels
+        else:
+            features, labels = _assemble_chunk(shards, range(start, end))
+        try:
+            samples = model.sample_losses(params, features, labels)
+        except NotImplementedError:
+            # No per-sample decomposition: historical per-shard loop
+            # (still streaming-safe — one shard resident at a time).
+            return np.array(
+                [model.dataset_loss(params, shard) for shard in shards]
+            )
+        if index == 0:
+            penalty = model.penalty(params)
+        ends = np.cumsum(sizes[start:end])
+        starts = np.concatenate(([0], ends[:-1]))
+        for offset, client in enumerate(range(start, end)):
+            losses[client] = (
+                float(samples[starts[offset]:ends[offset]].mean()) + penalty
+            )
+    return losses
+
+
+def _assemble_chunk(shards, client_ids) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the chunk's shard arrays (values match a pooled slice)."""
+    features: List[np.ndarray] = []
+    labels: List[np.ndarray] = []
+    for client in client_ids:
+        # One arrays() call per shard: a lazy shard materializes once
+        # even with the provider LRU off.
+        shard_features, shard_labels = shards[client].arrays()
+        features.append(shard_features)
+        labels.append(shard_labels)
+    return np.concatenate(features), np.concatenate(labels)

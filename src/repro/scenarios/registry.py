@@ -23,6 +23,10 @@ Built-in suite
   chain; effective inclusion is availability x willingness.
 * ``megafleet`` — 10,000 clients, game layer only: exercises the
   vectorized best-response/equilibrium path at production fleet size.
+* ``megafleet-train`` — 10,000 clients trained **end to end**: streaming
+  shard provider + chunked vectorized rounds keep peak memory bounded by
+  the chunk width, so the fleet the game layer already handles actually
+  trains (the memory-bounded pipeline; see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -145,6 +149,17 @@ register_scenario(
         "(equilibrium only, no training)",
         population=PopulationSpec(num_clients=10_000),
         train=False,
+        tags=("scale",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="megafleet-train",
+        description="10k clients trained end to end: streaming shards + "
+        "chunked rounds bound peak memory by the chunk width",
+        population=PopulationSpec(num_clients=10_000),
+        streaming=True,
         tags=("scale",),
     )
 )

@@ -171,7 +171,11 @@ def _apply_population_factors(
 
 
 def synthetic_problem(
-    spec: ScenarioSpec, config: SetupConfig, *, seed: int = 0
+    spec: ScenarioSpec,
+    config: SetupConfig,
+    *,
+    seed: int = 0,
+    weights: Optional[np.ndarray] = None,
 ) -> ServerProblem:
     """A game-layer economy drawn directly, without datasets or pilots.
 
@@ -181,13 +185,26 @@ def synthetic_problem(
     unit-calibrated with :func:`calibrate_value_scale` — the same Table-V
     anchor the full pipeline uses, so synthetic economies are comparable
     with calibrated ones. Deterministic in ``(spec, config, seed)``.
+
+    ``weights`` overrides the exponential weight draw with externally
+    supplied data weights (the streaming-training path passes the actual
+    shard-size weights of its dataset, so the game prices exactly the
+    federation the trainer aggregates); the draw that would have produced
+    weights is still consumed, keeping every other stream unchanged.
     """
     population_spec = spec.population
     factory = RngFactory(seed).child("scenario", spec.setup)
     rng = factory.make("synthetic-population")
     n = config.num_clients
     raw_weights = rng.exponential(1.0, size=n)
-    weights = raw_weights / raw_weights.sum()
+    if weights is None:
+        weights = raw_weights / raw_weights.sum()
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (n,):
+            raise ValueError(
+                f"weights override must have shape ({n},), got {weights.shape}"
+            )
     gradient_bounds = rng.uniform(1.0, 5.0, size=n)
     costs = _spread_and_scale_costs(
         rng.exponential(config.mean_cost, size=n),
@@ -270,7 +287,10 @@ class ScenarioRunner:
         key = f"{spec.population_fingerprint()}/{self.scale.name}/{self.seed}"
         if key not in self._economies:
             config = scenario_config(spec, self.scale)
-            if spec.train:
+            if spec.train and spec.streaming:
+                prepared = self._prepare_streaming(spec, config)
+                self._economies[key] = (config, prepared.problem, prepared)
+            elif spec.train:
                 base = self._base_setup(spec, config)
                 prepared = _apply_population_factors(base, spec)
                 self._economies[key] = (config, prepared.problem, prepared)
@@ -285,6 +305,92 @@ class ScenarioRunner:
             seed=self.seed,
             problem=problem,
             prepared=prepared,
+        )
+
+    def _prepare_streaming(
+        self, spec: ScenarioSpec, config: SetupConfig
+    ) -> PreparedSetup:
+        """Memory-bounded preparation: streaming shards + synthetic economy.
+
+        The full pipeline's pilots (reference optima, gradient-bound
+        estimation, alpha/beta fits) iterate every client's materialized
+        shard — at megafleet sizes that is exactly the work and memory
+        streaming exists to avoid. This path therefore pairs the
+        game-only scenarios' synthetic economy (drawn at fleet size,
+        unit-calibrated with the same Table-V anchor) with a
+        :class:`~repro.datasets.streaming.StreamingFederatedDataset`
+        whose *actual shard-size weights* replace the economy's weight
+        draw, so the game prices the same federation the trainer
+        aggregates. Round timing uses the closed-form
+        :class:`~repro.simulation.FleetTimingModel` (the event-driven
+        upload simulation is super-linear in participants). Training then
+        flows through the ordinary orchestrator DAG; the trainer detects
+        the streaming dataset and runs chunked automatically.
+        """
+        from repro.datasets import streaming_synthetic_federated
+        from repro.models import MultinomialLogisticRegression
+        from repro.simulation import build_fleet_timing
+        from repro.theory import ReferenceOptima
+
+        total = config.total_samples or 22_377
+        federated = streaming_synthetic_federated(
+            config.num_clients,
+            total_samples=total,
+            seed=self.seed,
+            # Cap shards at 4x the mean: the raw power law concentrates a
+            # constant fraction of the total on its top client, which
+            # would tie peak memory (and the chunk kernel's stack width)
+            # to the fleet size rather than the chunk knob.
+            max_size=max(1, 4 * (total // config.num_clients)),
+        )
+        model = MultinomialLogisticRegression(
+            num_features=federated.num_features,
+            num_classes=federated.num_classes,
+            l2=config.l2,
+        )
+        problem = synthetic_problem(
+            spec, config, seed=self.seed, weights=federated.weights
+        )
+        factory = RngFactory(self.seed).child(
+            "scenario-streaming", spec.setup
+        )
+        runtime = build_fleet_timing(
+            config.num_clients,
+            model.num_params,
+            local_steps=config.local_steps,
+            batch_size=config.batch_size,
+            rng=factory.make("fleet-timing"),
+        )
+        n = config.num_clients
+        # No pilot training at streaming scale: reference optima are the
+        # zero surrogate (outcome.expected_loss columns become gap-only,
+        # matching the game-only scenarios' convention).
+        optima = ReferenceOptima(
+            f_star=float(problem.f_star),
+            f_star_local=np.zeros(n),
+            w_star=model.init_params(),
+            local_gaps=(
+                problem.local_gaps
+                if problem.local_gaps is not None
+                else np.zeros(n)
+            ),
+        )
+        return PreparedSetup(
+            config=config,
+            scale=self.scale,
+            federated=federated,
+            model=model,
+            problem=problem,
+            optima=optima,
+            runtime=runtime,
+            rng_factory=factory,
+            alpha=float(problem.alpha),
+            beta=float(problem.beta),
+            # The synthetic economy's values are already in final units;
+            # streaming setups never sweep mean_value, so the unit draw
+            # bookkeeping collapses to scale 1 over the final values.
+            value_scale=1.0,
+            raw_values=problem.population.values,
         )
 
     def _base_setup(

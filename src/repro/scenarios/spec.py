@@ -98,6 +98,15 @@ class ScenarioSpec:
             ``False`` solves only the game layer — the mode for fleets far
             beyond training scale (e.g. 10k+ clients through the
             vectorized best-response solver).
+        streaming: ``True`` trains through the memory-bounded pipeline: a
+            synthetic economy (like game-only scenarios) over a
+            :class:`~repro.datasets.streaming.StreamingFederatedDataset`
+            whose shards regenerate on demand, processed in chunked
+            vectorized rounds. This is what makes 10k+-client fleets
+            *trainable* — peak memory scales with the chunk width, not the
+            fleet. Only meaningful with ``train=True`` and a synthetic
+            setup (the image-like datasets partition a pooled draw and
+            cannot regenerate per client).
         tags: Free-form labels (``"paper"``, ``"stress"``, ...).
     """
 
@@ -107,6 +116,7 @@ class ScenarioSpec:
     population: PopulationSpec = PopulationSpec()
     participation: ParticipationSpec = ParticipationSpec()
     train: bool = True
+    streaming: bool = False
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -115,6 +125,18 @@ class ScenarioSpec:
         if self.setup not in ("setup1", "setup2", "setup3"):
             raise ValueError(
                 f"unknown setup {self.setup!r}; choose setup1/setup2/setup3"
+            )
+        if self.streaming and not self.train:
+            raise ValueError(
+                "streaming=True selects the memory-bounded *training* "
+                "pipeline; game-only scenarios (train=False) never "
+                "materialize data and don't take the knob"
+            )
+        if self.streaming and self.setup != "setup1":
+            raise ValueError(
+                "streaming scenarios require the synthetic setup (setup1): "
+                "the image-like datasets partition one pooled draw and "
+                "cannot regenerate shards per client"
             )
         if not isinstance(self.tags, tuple):
             object.__setattr__(self, "tags", tuple(self.tags))
@@ -131,8 +153,13 @@ class ScenarioSpec:
     # Serialization -----------------------------------------------------------
 
     def to_doc(self) -> dict:
-        """Lossless JSON-serializable form (canonical field order)."""
-        return {
+        """Lossless JSON-serializable form (canonical field order).
+
+        ``streaming`` is emitted only when set, so every pre-existing
+        scenario document — and every fingerprint derived from one —
+        is byte-stable across this field's introduction.
+        """
+        doc = {
             "format": "scenario/v1",
             "name": self.name,
             "description": self.description,
@@ -142,6 +169,9 @@ class ScenarioSpec:
             "train": self.train,
             "tags": list(self.tags),
         }
+        if self.streaming:
+            doc["streaming"] = True
+        return doc
 
     @classmethod
     def from_doc(cls, doc: dict) -> "ScenarioSpec":
@@ -157,6 +187,7 @@ class ScenarioSpec:
             population=PopulationSpec(**doc["population"]),
             participation=ParticipationSpec(**doc["participation"]),
             train=bool(doc["train"]),
+            streaming=bool(doc.get("streaming", False)),
             tags=tuple(str(tag) for tag in doc["tags"]),
         )
 
@@ -173,13 +204,16 @@ class ScenarioSpec:
         realizes a given ``q``) and the name/description/tags (labels), so
         scenarios that share an economy — and all mechanisms within one
         scenario — share one dataset/population preparation and its cache
-        entries.
+        entries. ``streaming`` enters only when set (it selects a whole
+        different preparation — synthetic economy over regenerable
+        shards), keeping every pre-existing fingerprint stable.
         """
-        return content_address(
-            {
-                "format": "scenario-population/v1",
-                "setup": self.setup,
-                "population": dataclasses.asdict(self.population),
-                "train": self.train,
-            }
-        )
+        doc = {
+            "format": "scenario-population/v1",
+            "setup": self.setup,
+            "population": dataclasses.asdict(self.population),
+            "train": self.train,
+        }
+        if self.streaming:
+            doc["streaming"] = True
+        return content_address(doc)

@@ -4,7 +4,12 @@ from repro.simulation.clock import SimulatedClock
 from repro.simulation.devices import DeviceProfile, raspberry_pi_fleet
 from repro.simulation.events import EventQueue
 from repro.simulation.network import SharedMediumNetwork, simulate_shared_uploads
-from repro.simulation.runtime import TestbedRuntime, build_testbed
+from repro.simulation.runtime import (
+    FleetTimingModel,
+    TestbedRuntime,
+    build_fleet_timing,
+    build_testbed,
+)
 
 __all__ = [
     "SimulatedClock",
@@ -14,5 +19,7 @@ __all__ = [
     "SharedMediumNetwork",
     "simulate_shared_uploads",
     "TestbedRuntime",
+    "FleetTimingModel",
     "build_testbed",
+    "build_fleet_timing",
 ]

@@ -104,6 +104,124 @@ class TestbedRuntime:
         return timer
 
 
+@dataclass(frozen=True)
+class FleetTimingModel:
+    """Closed-form round timing for fleets beyond event-simulation scale.
+
+    :meth:`TestbedRuntime.round_duration` runs an event-driven fluid
+    simulation of the shared uplink — faithful, but super-linear in the
+    participant count, which makes it the bottleneck long before the
+    training math is at megafleet sizes. This model keeps the same device
+    fleet and the same structure (downlink + compute readiness, then a
+    contended upload phase) but prices the upload phase with the two
+    closed-form bottlenecks instead of simulating flow-by-flow:
+
+    * the slowest participant's own link: ``max_n (ready_n + payload /
+      uplink_n)``, and
+    * the shared medium draining all payloads: ``min_n ready_n +
+      k * payload / capacity``,
+
+    taking the larger of the two. Both are exact lower bounds of the fluid
+    simulation and one of them binds in each regime (few fast devices vs.
+    a saturated medium), so the model preserves the coupling the game
+    cares about — recruiting many slow devices lengthens rounds — at
+    ``O(participants)`` vectorized cost per round.
+
+    Attributes:
+        ready: Per-device seconds until its upload can start (downlink +
+            local compute + connection overhead).
+        uplink_bps: Per-device uplink caps.
+        payload_bits: Size of one serialized model update.
+        capacity_bps: Shared-medium capacity.
+        server_overhead: Aggregation seconds per round.
+    """
+
+    __test__ = False
+
+    ready: np.ndarray
+    uplink_bps: np.ndarray
+    payload_bits: float
+    capacity_bps: float
+    server_overhead: float = 0.05
+
+    def __post_init__(self) -> None:
+        ready = np.asarray(self.ready, dtype=float)
+        uplink = np.asarray(self.uplink_bps, dtype=float)
+        if ready.ndim != 1 or ready.size == 0:
+            raise ValueError("ready must be a non-empty 1-D array")
+        if uplink.shape != ready.shape:
+            raise ValueError("uplink_bps must match ready in shape")
+        check_nonnegative(self.server_overhead, "server_overhead")
+        object.__setattr__(self, "ready", ready)
+        object.__setattr__(self, "uplink_bps", uplink)
+
+    @property
+    def num_devices(self) -> int:
+        """Fleet size this model covers."""
+        return int(self.ready.size)
+
+    def round_duration(self, mask: Sequence[bool]) -> float:
+        """Duration of one synchronous round for a participant mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            return self.server_overhead
+        ready = self.ready[mask]
+        uplink = np.minimum(self.uplink_bps[mask], self.capacity_bps)
+        per_flow = float(np.max(ready + self.payload_bits / uplink))
+        drained = float(
+            ready.min() + mask.sum() * self.payload_bits / self.capacity_bps
+        )
+        return max(per_flow, drained) + self.server_overhead
+
+    def round_timer(self) -> RoundTimer:
+        """Adapter usable as ``FederatedTrainer(round_timer=...)``."""
+
+        def timer(mask: np.ndarray, round_index: int) -> float:
+            return self.round_duration(mask)
+
+        return timer
+
+
+def build_fleet_timing(
+    num_clients: int,
+    num_params: int,
+    *,
+    local_steps: int = 100,
+    batch_size: int = 24,
+    heterogeneity: float = 0.35,
+    capacity_bps: float = 200e6,
+    rng=None,
+) -> FleetTimingModel:
+    """A :class:`FleetTimingModel` over the default Pi fleet + Wi-Fi medium.
+
+    Same fleet draw and constants as :func:`build_testbed`, with the
+    per-device readiness (downlink + compute + connection overhead)
+    precomputed once — construction is ``O(num_clients)`` and each round's
+    timing is one vectorized reduction.
+    """
+    from repro.simulation.devices import raspberry_pi_fleet
+
+    devices = raspberry_pi_fleet(
+        num_clients, heterogeneity=heterogeneity, rng=rng
+    )
+    network = SharedMediumNetwork(capacity_bps=capacity_bps)
+    payload_bits = float(num_params * _BITS_PER_PARAM)
+    ready = np.array(
+        [
+            network.solo_transfer_time(payload_bits, device.downlink_bps)
+            + device.local_update_time(local_steps, batch_size, num_params)
+            + network.connection_overhead
+            for device in devices
+        ]
+    )
+    return FleetTimingModel(
+        ready=ready,
+        uplink_bps=np.array([device.uplink_bps for device in devices]),
+        payload_bits=payload_bits,
+        capacity_bps=network.capacity_bps,
+    )
+
+
 def build_testbed(
     num_clients: int,
     num_params: int,

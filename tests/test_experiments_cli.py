@@ -121,3 +121,66 @@ class TestBackendFlags:
         assert set(payload) >= {
             "loop_s", "vectorized_s", "speedup", "mean_participants"
         }
+
+
+class TestBrokenPipeHandling:
+    """The PR-1 quiet-exit contract, extended to the scenario verbs: a verb
+    whose stdout consumer disappears (``scenarios list --json | head``)
+    must exit quietly — no traceback on stderr, conventional code 1."""
+
+    @staticmethod
+    def _run_with_closed_stdout(*argv):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_SCALE="ci")
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        # Close the read end before the CLI writes: every flush from then
+        # on raises EPIPE inside the verb handler.
+        proc.stdout.close()
+        stderr = proc.stderr.read().decode()
+        proc.stderr.close()
+        code = proc.wait()
+        return code, stderr
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("scenarios", "list"),
+            ("scenarios", "list", "--json"),
+        ],
+    )
+    def test_scenarios_list_exits_quietly(self, argv):
+        code, stderr = self._run_with_closed_stdout(*argv)
+        assert "Traceback" not in stderr
+        assert "BrokenPipeError" not in stderr
+        # 1 when the pipe loss was seen (the overwhelmingly common race
+        # outcome), 0 only if the whole write beat the close.
+        assert code in (0, 1)
+
+    def test_scenarios_run_exits_quietly(self):
+        code, stderr = self._run_with_closed_stdout(
+            "scenarios", "run", "--name", "megafleet"
+        )
+        assert "Traceback" not in stderr
+        assert "BrokenPipeError" not in stderr
+        assert code in (0, 1)
+
+    def test_programmatic_main_survives_pipe_loss(self, capsys, monkeypatch):
+        """main() callers (tests, scripts) get the code-1 contract too."""
+        import repro.experiments.cli as cli
+
+        def broken(*args, **kwargs):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli, "_cmd_scenarios", broken)
+        assert cli.main(["scenarios", "list"]) == 1

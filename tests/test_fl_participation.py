@@ -182,3 +182,68 @@ class TestParticipationSpec:
 
     def test_spec_is_hashable(self):
         assert len({ParticipationSpec(), ParticipationSpec()}) == 1
+
+
+class TestCorrelatedBoundaryMarginals:
+    """Boundary audit (PR-5 satellite): marginals must be *exact* — not
+    statistically close — at q in {0, 1} and at both shock-probability
+    extremes, with no clipping or renormalization anywhere.
+
+    Exactness holds because every comparison is ``uniform < q`` with the
+    uniform on [0, 1): q = 0 can never exceed a non-negative draw and
+    q = 1 always does, in the shared-draw branch and the independent
+    branch alike. These tests pin that contract.
+    """
+
+    def test_degenerate_q_is_exact_at_every_correlation(self):
+        q = np.array([0.0, 1.0, 0.5])
+        for correlation in (0.0, 0.25, 1.0):
+            model = CorrelatedParticipation(
+                q, correlation=correlation, rng=11
+            )
+            draws = np.stack(
+                [model.sample_round(r) for r in range(3000)]
+            )
+            assert not draws[:, 0].any(), correlation  # q=0: never joins
+            assert draws[:, 1].all(), correlation  # q=1: always joins
+
+    def test_inclusion_probabilities_are_bitwise_q(self):
+        q = np.array([0.0, 1.0, 1e-300, np.nextafter(1.0, 0.0)])
+        model = CorrelatedParticipation(q, correlation=0.5)
+        reported = model.inclusion_probabilities
+        assert np.array_equal(reported, q)
+        # A copy, not a clipped/renormalized view of the caller's array.
+        reported[0] = 0.9
+        assert model.inclusion_probabilities[0] == 0.0
+
+    def test_shock_extremes_branch_deterministically(self):
+        q = np.full(6, 0.5)
+        synchronized = CorrelatedParticipation(q, correlation=1.0, rng=7)
+        for r in range(300):
+            mask = synchronized.sample_round(r)
+            assert mask.all() or not mask.any()
+        independent = CorrelatedParticipation(q, correlation=0.0, rng=7)
+        all_or_nothing = [
+            mask.all() or not mask.any()
+            for mask in (independent.sample_round(r) for r in range(300))
+        ]
+        # With 6 independent fair coins, all-or-nothing rounds are rare
+        # (p = 2/64); a fully-synchronized stream here would mean the
+        # correlation gate drifted.
+        assert np.mean(all_or_nothing) < 0.2
+
+    def test_synchronized_masks_are_upper_sets_of_q(self):
+        """One shared draw => the joiners are exactly {n : u < q_n}."""
+        q = np.array([0.1, 0.4, 0.7, 0.95])  # ascending
+        model = CorrelatedParticipation(q, correlation=1.0, rng=5)
+        for r in range(500):
+            mask = model.sample_round(r)
+            assert all(mask[i] <= mask[i + 1] for i in range(len(q) - 1))
+
+    def test_pairwise_joint_rate_is_min_q_when_synchronized(self):
+        q = np.array([0.3, 0.8])
+        model = CorrelatedParticipation(q, correlation=1.0, rng=13)
+        joint = np.mean(
+            [model.sample_round(r).all() for r in range(8000)]
+        )
+        assert joint == pytest.approx(min(q), abs=0.02)

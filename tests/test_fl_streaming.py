@@ -1,0 +1,219 @@
+"""Memory-bounded training: chunked rounds + streaming federations.
+
+Two contracts under test:
+
+* **Bit-identity.** Every chunking of the vectorized round — and the
+  streaming storage mode it usually rides with — produces training
+  histories bit-identical to the eager full-width path, because stack
+  slices are bit-identical to the scalar path and evaluation chunks are
+  client-aligned and storage-independent.
+* **Bounded memory.** Peak allocation during a streaming run scales with
+  the chunk width (and the evaluation-chunk constant), not the fleet
+  size; the eager path's peak grows with the federation.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+import repro.models.metrics as metrics
+from repro.datasets import streaming_synthetic_federated
+from repro.experiments.configs import SCALES, SETUPS, apply_scale
+from repro.experiments.orchestrator import TrainJob, job_key
+from repro.experiments.setup import prepare_setup
+from repro.fl import BernoulliParticipation, FederatedTrainer
+from repro.models import MultinomialLogisticRegression
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def ci_prepared():
+    scale = SCALES["ci"]
+    config = apply_scale(SETUPS["setup1"], scale)
+    return prepare_setup(config, scale=scale, seed=11)
+
+
+def _model(federated) -> MultinomialLogisticRegression:
+    return MultinomialLogisticRegression(
+        num_features=federated.num_features,
+        num_classes=federated.num_classes,
+        l2=1e-2,
+    )
+
+
+def _run(
+    model,
+    federated,
+    q,
+    *,
+    seed=3,
+    backend="vectorized",
+    chunk_size=None,
+    local_steps=3,
+    batch_size=12,
+    num_rounds=6,
+):
+    trainer = FederatedTrainer(
+        model,
+        federated,
+        BernoulliParticipation(q, rng=RngFactory(seed).make("part")),
+        local_steps=local_steps,
+        batch_size=batch_size,
+        eval_every=2,
+        rng_factory=RngFactory(seed),
+        backend=backend,
+        chunk_size=chunk_size,
+    )
+    history = trainer.run(num_rounds)
+    return history, trainer.server.params
+
+
+class TestChunkedBitIdentity:
+    def test_every_chunking_matches_full_width(self):
+        federated = streaming_synthetic_federated(
+            18, total_samples=500, seed=7, test_clients=6
+        ).materialize()
+        # The batch-width grouping escape hatch must engage inside chunks.
+        assert federated.sizes.min() < 12 < federated.sizes.max()
+        model = _model(federated)
+        q = np.full(18, 0.6)
+        reference, reference_params = _run(model, federated, q)
+        for chunk_size in (1, 4, 7, 18, 50):
+            history, params = _run(
+                model, federated, q, chunk_size=chunk_size
+            )
+            assert history.records == reference.records, chunk_size
+            assert np.array_equal(params, reference_params), chunk_size
+
+    def test_streaming_matches_eager_all_engines(self):
+        streaming = streaming_synthetic_federated(
+            14, total_samples=420, seed=9, test_clients=5, cache_shards=3
+        )
+        eager = streaming.materialize()
+        model = _model(eager)
+        q = np.full(14, 0.5)
+        reference, reference_params = _run(model, eager, q)
+        for kwargs in (
+            dict(),  # auto-chunked streaming default
+            dict(chunk_size=5),
+            dict(backend="loop"),
+        ):
+            history, params = _run(model, streaming, q, **kwargs)
+            assert history.records == reference.records, kwargs
+            assert np.array_equal(params, reference_params), kwargs
+
+    def test_identity_holds_across_eval_chunk_boundaries(self, monkeypatch):
+        """Multi-chunk evaluation (fleets beyond EVAL_CHUNK_SAMPLES) must
+        stay bit-identical between storage modes."""
+        monkeypatch.setattr(metrics, "EVAL_CHUNK_SAMPLES", 64)
+        streaming = streaming_synthetic_federated(
+            12, total_samples=360, seed=4, test_clients=4
+        )
+        eager = streaming.materialize()
+        model = _model(eager)
+        q = np.full(12, 0.5)
+        reference, _ = _run(model, eager, q, chunk_size=None)
+        chunked, _ = _run(model, streaming, q, chunk_size=3)
+        assert chunked.records == reference.records
+
+    def test_chunk_size_validated(self):
+        federated = streaming_synthetic_federated(
+            4, total_samples=80, seed=1, test_clients=2
+        )
+        with pytest.raises(ValueError, match="chunk_size"):
+            FederatedTrainer(
+                _model(federated),
+                federated,
+                BernoulliParticipation(np.full(4, 0.5)),
+                chunk_size=0,
+            )
+
+    def test_streaming_defaults_to_bounded_chunk(self):
+        federated = streaming_synthetic_federated(
+            4, total_samples=80, seed=1, test_clients=2
+        )
+        trainer = FederatedTrainer(
+            _model(federated),
+            federated,
+            BernoulliParticipation(np.full(4, 0.5)),
+        )
+        assert trainer.streaming
+        assert trainer.chunk_size is not None
+
+
+class TestChunkKnobNeverForksTheCache:
+    def test_chunk_size_excluded_from_job_identity(self):
+        base = TrainJob(q=(0.5, 0.5), seed=0)
+        chunked = TrainJob(q=(0.5, 0.5), seed=0, chunk_size=8)
+        assert base.key_fields() == chunked.key_fields()
+        assert "chunk_size" not in base.key_fields()
+
+    def test_chunk_size_keeps_cache_keys(self, ci_prepared):
+        base = job_key(ci_prepared, TrainJob(q=(0.5,) * 8, seed=1))
+        chunked = job_key(
+            ci_prepared, TrainJob(q=(0.5,) * 8, seed=1, chunk_size=4)
+        )
+        assert base == chunked
+
+
+class TestPeakMemoryIsChunkBounded:
+    """The satellite's tier-1 memory pin, via tracemalloc (numpy routes
+    array allocations through it): streaming peak allocation is a
+    fraction of the eager run's and does not grow with the fleet."""
+
+    @staticmethod
+    def _traced_run(federated, q, **kwargs):
+        model = _model(federated)
+        tracemalloc.start()
+        tracemalloc.reset_peak()
+        history, _ = _run(model, federated, q, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return history, peak
+
+    def test_streaming_peak_is_far_below_eager(self):
+        streaming = streaming_synthetic_federated(
+            120,
+            total_samples=9_600,
+            seed=6,
+            test_clients=8,
+            cache_shards=4,
+        )
+        eager = streaming.materialize()
+        q = np.full(120, 0.4)
+        eager_history, eager_peak = self._traced_run(eager, q)
+        stream_history, stream_peak = self._traced_run(
+            streaming, q, chunk_size=8
+        )
+        assert stream_history.records == eager_history.records
+        # Eager residency: all shards + the flat/pool staging copies +
+        # the pooled evaluation cache. Streaming holds one chunk (8
+        # clients), a 4-shard LRU, and one evaluation chunk.
+        assert stream_peak < eager_peak / 2, (stream_peak, eager_peak)
+
+    def test_streaming_peak_does_not_scale_with_fleet(self):
+        peaks = {}
+        for num_clients in (60, 180):
+            federated = streaming_synthetic_federated(
+                num_clients,
+                total_samples=num_clients * 80,
+                seed=8,
+                test_clients=8,
+                cache_shards=4,
+                # Cap shards like the megafleet scenario does: the raw
+                # power law hands its top client a constant *fraction* of
+                # the total, which would make the largest single shard —
+                # an irreducible term of any pipeline's peak — grow with
+                # the fleet no matter how training is chunked.
+                max_size=320,
+            )
+            q = np.full(num_clients, 0.3)
+            _, peaks[num_clients] = self._traced_run(
+                federated, q, chunk_size=8, num_rounds=4
+            )
+        # 3x the fleet (and 3x the total samples) must not 2x the peak:
+        # residency is bounded by chunk width + eval-chunk constant.
+        assert peaks[180] < 2.0 * peaks[60], peaks

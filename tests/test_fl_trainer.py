@@ -20,7 +20,10 @@ from repro.utils.rng import RngFactory
 class TestFLClient:
     def test_local_update_moves_params(self, small_federated, small_model):
         client = FLClient(
-            0, small_federated.client_datasets[0], small_model, rng_factory=RngFactory(0)
+            0,
+            small_federated.client_datasets[0],
+            small_model,
+            rng_factory=RngFactory(0),
         )
         start = small_model.init_params()
         out = client.local_update(start, step_size=0.05, num_steps=20)

@@ -1,0 +1,161 @@
+"""Streaming training scenarios: spec knob, preparation, and end-to-end runs.
+
+The ``streaming`` knob turns a fleet the game layer already handles into a
+*trainable* one: a synthetic economy priced on the streaming federation's
+actual shard-size weights, trained through chunked vectorized rounds. These
+tests pin the spec semantics (document stability, validation), the
+preparation invariants (weights tie-in, memoization, bounded shards), and
+a small end-to-end run with finite metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import StreamingFederatedDataset
+from repro.experiments.runner import run_history
+from repro.game import build_mechanism
+from repro.scenarios import (
+    PopulationSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    nonfinite_metrics,
+)
+
+MINI_STREAMING = ScenarioSpec(
+    name="mini-streaming",
+    description="60-client streaming training scenario for tests",
+    population=PopulationSpec(num_clients=60),
+    streaming=True,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ScenarioRunner(scale="ci", seed=0)
+
+
+class TestSpecKnob:
+    def test_megafleet_train_is_registered_and_streams(self):
+        spec = get_scenario("megafleet-train")
+        assert spec.streaming and spec.train
+        assert spec.population.num_clients == 10_000
+        assert "scale" in spec.tags
+
+    def test_streaming_requires_training(self):
+        with pytest.raises(ValueError, match="game-only"):
+            ScenarioSpec(name="bad", streaming=True, train=False)
+
+    def test_streaming_requires_synthetic_setup(self):
+        with pytest.raises(ValueError, match="synthetic"):
+            ScenarioSpec(name="bad", streaming=True, setup="setup2")
+
+    def test_doc_round_trip(self):
+        doc = MINI_STREAMING.to_doc()
+        assert doc["streaming"] is True
+        assert ScenarioSpec.from_doc(doc) == MINI_STREAMING
+
+    def test_non_streaming_docs_are_byte_stable(self):
+        """Pre-PR-5 scenario documents must not grow a streaming key."""
+        assert "streaming" not in ScenarioSpec(name="plain").to_doc()
+        roundtrip = ScenarioSpec.from_doc(ScenarioSpec(name="plain").to_doc())
+        assert not roundtrip.streaming
+
+    def test_streaming_forks_the_population_fingerprint(self):
+        eager = ScenarioSpec(
+            name="a", population=PopulationSpec(num_clients=60)
+        )
+        streaming = ScenarioSpec(
+            name="b",
+            population=PopulationSpec(num_clients=60),
+            streaming=True,
+        )
+        assert (
+            eager.population_fingerprint()
+            != streaming.population_fingerprint()
+        )
+
+
+class TestStreamingPreparation:
+    def test_prepared_setup_is_streaming_and_weight_tied(self, runner):
+        concrete = runner.prepare(MINI_STREAMING)
+        prepared = concrete.prepared
+        assert isinstance(prepared.federated, StreamingFederatedDataset)
+        # The game prices exactly the federation the trainer aggregates.
+        np.testing.assert_array_equal(
+            concrete.problem.population.weights, prepared.federated.weights
+        )
+        assert concrete.config.num_clients == 60
+
+    def test_preparation_is_memoized(self, runner):
+        a = runner.prepare(MINI_STREAMING)
+        b = runner.prepare(MINI_STREAMING)
+        assert a.prepared is b.prepared
+
+    def test_shard_sizes_are_capped(self, runner):
+        prepared = runner.prepare(MINI_STREAMING).prepared
+        sizes = prepared.federated.sizes
+        mean = prepared.federated.total_samples // 60
+        assert sizes.max() <= 4 * mean
+
+    def test_run_history_trains_streaming_setups(self, runner):
+        prepared = runner.prepare(MINI_STREAMING).prepared
+        q = np.full(60, 0.4)
+        history = run_history(prepared, q, seed=0)
+        assert np.isfinite(history.final_global_loss())
+        again = run_history(prepared, q, seed=0, chunk_size=9)
+        assert history.records == again.records
+
+
+class TestStreamingEndToEnd:
+    def test_mini_scenario_metrics_are_finite(self, runner):
+        mechanisms = [
+            build_mechanism("proposed"),
+            build_mechanism("fixed-subset"),
+        ]
+        cells = runner.run(MINI_STREAMING, mechanisms)
+        assert nonfinite_metrics(cells) == []
+        assert [cell.mechanism for cell in cells] == [
+            "proposed",
+            "fixed-subset",
+        ]
+        for cell in cells:
+            assert cell.histories, cell.mechanism
+        by_name = {cell.mechanism: cell for cell in cells}
+        # The biased baseline excludes weight mass; the proposed scheme
+        # keeps everyone in the lottery.
+        assert by_name["proposed"].metrics["estimator_bias"] == 0.0
+        assert by_name["fixed-subset"].metrics["estimator_bias"] > 0.0
+
+    def test_streaming_runs_are_deterministic(self):
+        first = ScenarioRunner(scale="ci", seed=0).run(
+            MINI_STREAMING, [build_mechanism("proposed")]
+        )
+        second = ScenarioRunner(scale="ci", seed=0).run(
+            MINI_STREAMING, [build_mechanism("proposed")]
+        )
+        assert first[0].metrics == second[0].metrics
+        for a, b in zip(first[0].histories, second[0].histories):
+            assert a.records == b.records
+
+    def test_streaming_cells_bit_identical_across_jobs(self, tmp_path):
+        """Workers receive the pickled provider (a recipe, not arrays) and
+        must regenerate the identical federation."""
+        from repro.experiments import ExperimentOrchestrator
+
+        mechanisms = [build_mechanism("proposed")]
+        serial = ScenarioRunner(scale="ci", seed=0).run(
+            MINI_STREAMING, mechanisms
+        )
+        parallel = ScenarioRunner(
+            scale="ci",
+            seed=0,
+            orchestrator=ExperimentOrchestrator(
+                jobs=2, cache_dir=tmp_path / "store"
+            ),
+        ).run(MINI_STREAMING, mechanisms)
+        assert serial[0].metrics == parallel[0].metrics
+        for a, b in zip(serial[0].histories, parallel[0].histories):
+            assert a.records == b.records

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Enforced, dependency-free format gate for the repository's Python tree.
+
+``ruff format --check`` remains the aspirational formatter gate, but ruff
+is not installable in the reference dev container (no network), so its
+exact opinion cannot be verified before a push. This checker enforces the
+*mechanically decidable subset* of the house style (ruff.toml: 88-column
+double-quoted 4-space style) with nothing beyond the standard library, so
+the same gate runs identically in the container and in CI:
+
+* files decode as UTF-8, use LF line endings, and end with exactly one
+  trailing newline;
+* no trailing whitespace, no tab characters;
+* no line longer than 88 columns;
+* string literals prefer double quotes (the formatter's normalization:
+  any single-quoted string not containing a double quote).
+
+The tree is kept clean under this gate (the PR-5 sweep); CI runs it as a
+blocking step, with the full ``ruff format --check`` still advisory on
+top until a ruff-capable environment has run the formatter once.
+
+Usage::
+
+    python tools/check_format.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+import tokenize
+from pathlib import Path
+
+MAX_COLUMNS = 88
+
+#: Directories never scanned (VCS internals, caches, build output,
+#: virtualenvs).
+SKIP_PARTS = {
+    "__pycache__",
+    "build",
+    "dist",
+    "venv",
+    "node_modules",
+}
+
+
+def iter_python_files(root: Path):
+    """Every tracked-tree ``.py`` file under ``root``, skipping caches.
+
+    Dot-directories (``.git``, ``.venv``, ``.tox``, ``.ruff_cache``, ...)
+    are skipped wholesale: an in-tree virtualenv must not fail the gate
+    on third-party files.
+    """
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        if SKIP_PARTS.intersection(parts):
+            continue
+        if any(part.startswith(".") for part in parts):
+            continue
+        yield path
+
+
+def check_file(path: Path) -> list:
+    """Return ``"path:line: message"`` strings for every violation."""
+    problems = []
+    raw = path.read_bytes()
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as error:
+        return [f"{path}: not valid UTF-8 ({error})"]
+    if b"\r" in raw:
+        problems.append(f"{path}: CR line endings (use LF)")
+    if raw and not raw.endswith(b"\n"):
+        problems.append(f"{path}: missing trailing newline")
+    if raw.endswith(b"\n\n"):
+        problems.append(f"{path}: multiple trailing newlines")
+    for number, line in enumerate(text.splitlines(), start=1):
+        if "\t" in line:
+            problems.append(f"{path}:{number}: tab character")
+        if line != line.rstrip():
+            problems.append(f"{path}:{number}: trailing whitespace")
+        if len(line) > MAX_COLUMNS:
+            problems.append(
+                f"{path}:{number}: line is {len(line)} columns "
+                f"(max {MAX_COLUMNS})"
+            )
+    problems.extend(check_quote_style(path, text))
+    return problems
+
+
+def check_quote_style(path: Path, text: str) -> list:
+    """Flag single-quoted strings the formatter would rewrite.
+
+    Mirrors the formatter's quote normalization: a single-quoted,
+    non-triple string whose body contains no double quote becomes
+    double-quoted. Strings that *do* contain a double quote are left
+    alone (rewriting them would need escapes). F-strings are skipped on
+    every interpreter: Python 3.12 tokenizes them as FSTRING_* tokens
+    while older versions emit STRING, and the gate must behave
+    identically everywhere — version-dependent verdicts would let a tree
+    pass in CI and fail in the dev container.
+    """
+    problems = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.STRING:
+                continue
+            prefix = token.string[: len(token.string)
+                                  - len(token.string.lstrip("rRbBfFuU"))]
+            if "f" in prefix.lower():
+                continue
+            body = token.string[len(prefix):]
+            if (
+                body.startswith("'")
+                and not body.startswith("'''")
+                and '"' not in body[1:-1]
+            ):
+                problems.append(
+                    f"{path}:{token.start[0]}: single-quoted string "
+                    "(house style is double quotes)"
+                )
+    except (tokenize.TokenError, IndentationError, SyntaxError) as error:
+        problems.append(f"{path}: not tokenizable ({error})")
+    return problems
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    problems = []
+    count = 0
+    for path in iter_python_files(root):
+        count += 1
+        problems.extend(check_file(path))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(
+            f"check_format: {len(problems)} problem(s) across "
+            f"{count} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_format: {count} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

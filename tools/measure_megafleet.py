@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Measure the megafleet-train scenario end to end and archive the result.
+
+Runs the registry's ``megafleet-train`` scenario (10k clients, streaming
+shards, chunked rounds) across the full mechanism suite at the given
+scale, recording wall-clock, the process's peak RSS, and the per-mechanism
+training metrics into
+``benchmarks/results/bench/megafleet_train_<scale>.json``. This is the
+acceptance artifact for the memory-bounded training pipeline: a fleet
+250x the paper's trains within a laptop-class memory budget.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_megafleet.py [--scale ci] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+from pathlib import Path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="ci")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", default="megafleet-train")
+    args = parser.parse_args(argv)
+
+    from repro.scenarios import ScenarioRunner, get_scenario
+    from repro.scenarios.runner import nonfinite_metrics
+    from repro.utils.serialization import save_json
+
+    spec = get_scenario(args.scenario)
+    runner = ScenarioRunner(scale=args.scale, seed=args.seed)
+    start = time.perf_counter()
+    cells = runner.run(spec)
+    wall_s = time.perf_counter() - start
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    bad = nonfinite_metrics(cells)
+
+    config = runner.prepare(spec).config
+    payload = {
+        "command": "PYTHONPATH=src python tools/measure_megafleet.py "
+        f"--scale {args.scale} --seed {args.seed}",
+        "scenario": spec.name,
+        "scale": args.scale,
+        "seed": args.seed,
+        "num_clients": config.num_clients,
+        "total_samples": config.total_samples,
+        "num_rounds": config.num_rounds,
+        "wall_s": wall_s,
+        "peak_rss_kib": int(peak_rss_kib),
+        "nonfinite_metrics": bad,
+        "cells": [
+            {
+                "mechanism": cell.mechanism,
+                "metrics": dict(cell.metrics),
+            }
+            for cell in cells
+        ],
+    }
+    out = (
+        Path("benchmarks")
+        / "results"
+        / "bench"
+        / f"megafleet_train_{args.scale}.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    save_json(payload, out)
+    print(
+        f"{spec.name} @ {args.scale}: {config.num_clients} clients, "
+        f"{wall_s:.1f}s, peak RSS {peak_rss_kib / 1024:.0f} MiB "
+        f"-> {out}"
+    )
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
