@@ -140,6 +140,32 @@ def _add_common_options(
         "results; default: full-width for eager setups, a bounded chunk "
         "for streaming megafleet scenarios)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", type=Path, default=default(None), metavar="DIR",
+        help="checkpoint training runs into per-job subdirectories of DIR "
+        "(bit-identical results; enables kill-and-resume)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=default(10), metavar="ROUNDS",
+        help="rounds between checkpoints (default: 10; needs "
+        "--checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        default=default(False),
+        help="resume killed training runs from their newest checkpoint "
+        "under --checkpoint-dir",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=default(None), metavar="SECONDS",
+        help="presume a parallel job stuck after this long and retry it on "
+        "a fresh pool (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=default(2), metavar="N",
+        help="retry budget per parallel job for crashes/timeouts "
+        "(default: 2)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -247,14 +273,26 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         and args.cache_dir is None
         and args.backend == "vectorized"
         and args.chunk_size is None
+        and args.checkpoint_dir is None
+        and args.job_timeout is None
+        and args.max_retries == 2
     ):
         return None
-    return ExperimentOrchestrator(
+    orchestrator = ExperimentOrchestrator(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
     )
+    if args.checkpoint_dir is not None:
+        orchestrator.with_checkpointing(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    return orchestrator
 
 
 def _cmd_table(args) -> int:
@@ -1011,6 +1049,18 @@ def main(
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.chunk_size is not None and args.chunk_size < 1:
         parser.error(f"--chunk-size must be >= 1, got {args.chunk_size}")
+    if args.checkpoint_every < 1:
+        parser.error(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        parser.error(
+            f"--job-timeout must be positive, got {args.job_timeout}"
+        )
+    if args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     try:

@@ -71,15 +71,19 @@ import logging
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 import repro
+from repro import faults
 from repro.experiments.setup import PreparedSetup
+from repro.utils.rng import spawn_rng
 from repro.utils.serialization import (
     canonical_dumps,
     content_address,
@@ -212,6 +216,15 @@ class TrainJob:
     results, so both enter :meth:`key_fields` — but only at non-default
     values, so every pre-scenario job keeps its historical cache key (and
     the paper-default scenario shares the plain Fig.-4 entries).
+
+    ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` make the run
+    fault-tolerant: the worker checkpoints into a per-job subdirectory of
+    ``checkpoint_dir`` (derived from this job's cache key, so concurrent
+    jobs never share one) and, when ``resume`` is set, continues from the
+    newest checkpoint left by a killed attempt. Like ``backend`` and
+    ``chunk_size`` they are excluded from :meth:`key_fields`: a resumed
+    history is bit-identical to an uninterrupted one, so checkpointing
+    must not fork the cache.
     """
 
     q: Tuple[float, ...]
@@ -220,6 +233,9 @@ class TrainJob:
     participation: Optional[Any] = None
     exclude_zero: bool = False
     chunk_size: Optional[int] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 10
+    resume: bool = False
 
     kind = "train"
 
@@ -269,6 +285,16 @@ def job_key(
 
 
 # Result store ---------------------------------------------------------------
+
+
+class ResultStoreError(OSError):
+    """A result-store write failed in a way the user must act on.
+
+    Raised by :meth:`ResultStore.put` when the temp-file write or the
+    atomic ``os.replace`` publish fails (disk full, permissions, dying
+    filesystem). The orphaned temp file is removed before raising, so a
+    failed write never inflates ``cache stats``.
+    """
 
 
 class ResultStore:
@@ -326,7 +352,13 @@ class ResultStore:
         return doc
 
     def put(self, key: str, key_doc: dict, kind: str, payload: dict) -> Path:
-        """Atomically persist one job result under ``key``."""
+        """Atomically persist one job result under ``key``.
+
+        On an I/O failure (ENOSPC mid-write, a failing ``os.replace``) the
+        orphaned temp file is removed and a :class:`ResultStoreError`
+        naming the path and the likely remedy is raised — the computation
+        itself already succeeded, only its memoization is lost.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {"key": key_doc, "kind": kind, "payload": payload}
@@ -335,13 +367,22 @@ class ResultStore:
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                faults.on_store_write(tmp_name)
                 handle.write(canonical_dumps(document))
+            faults.on_store_replace(str(path))
             os.replace(tmp_name, path)
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
+            if isinstance(error, OSError):
+                raise ResultStoreError(
+                    f"result store: could not persist {path} ({error}); "
+                    f"check free space and permissions under {self.root} "
+                    "(the partial temp file was removed; the computed "
+                    "result is unaffected, only its caching failed)"
+                ) from error
             raise
         return path
 
@@ -409,9 +450,13 @@ class ResultStore:
 _WORKER_PREPARED: Optional[PreparedSetup] = None
 
 
-def _init_worker(payload: bytes) -> None:
+def _init_worker(
+    payload: bytes, fault_plan: Optional[faults.FaultPlan] = None
+) -> None:
     global _WORKER_PREPARED
     _WORKER_PREPARED = pickle.loads(payload)
+    if fault_plan is not None:
+        faults.install(fault_plan)
 
 
 def _scheme_registry() -> dict:
@@ -464,6 +509,13 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
     if isinstance(spec, TrainJob):
         from repro.experiments.runner import run_history
 
+        checkpoint_dir = spec.checkpoint_dir
+        if checkpoint_dir is not None:
+            # Per-job subdirectory keyed by the job's own identity, so
+            # concurrent jobs (and retries of this one) land in a stable,
+            # collision-free location.
+            digest = content_address({"kind": spec.kind, **spec.key_fields()})
+            checkpoint_dir = str(Path(checkpoint_dir) / digest[:16])
         history = run_history(
             prepared,
             np.asarray(spec.q, dtype=float),
@@ -472,14 +524,18 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
             participation=spec.participation,
             exclude_zero=spec.exclude_zero,
             chunk_size=spec.chunk_size,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=spec.checkpoint_every,
+            resume=spec.resume,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
 
 
-def _run_remote(spec: JobSpec) -> dict:
+def _run_remote(spec: JobSpec, attempt: int = 0, key: str = "") -> dict:
     if _WORKER_PREPARED is None:
         raise RuntimeError("worker pool was not initialized with a setup")
+    faults.on_job(spec.kind, key, attempt)
     return _execute_spec(_WORKER_PREPARED, spec)
 
 
@@ -501,6 +557,68 @@ class JobNode:
     deps: Tuple[str, ...] = ()
 
 
+@dataclass
+class GraphReport:
+    """Structured account of one graph run's failures and recoveries.
+
+    ``events`` holds one dict per noteworthy incident —
+    ``{"event": "crash" | "timeout" | "error" | "retry" | "store-error"
+    | "exhausted", "key": ..., "nodes": [...], "attempt": ..., ...}`` —
+    in the order observed. Exposed as
+    :attr:`ExperimentOrchestrator.last_report` after every parallel graph
+    run (and attached to :class:`GraphFailure` when the run dies).
+    """
+
+    submitted: int = 0
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    events: List[dict] = field(default_factory=list)
+
+    def record(self, event: str, **details: Any) -> None:
+        """Append one structured event."""
+        self.events.append({"event": event, **details})
+
+    @property
+    def failures(self) -> List[dict]:
+        """Events describing job failures (crash/timeout/error/exhausted)."""
+        return [
+            entry
+            for entry in self.events
+            if entry["event"] in ("crash", "timeout", "error", "exhausted")
+        ]
+
+    def to_doc(self) -> dict:
+        """JSON-serializable summary."""
+        return {
+            "format": "graph-report/v1",
+            "submitted": self.submitted,
+            "retries": self.retries,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "events": list(self.events),
+        }
+
+
+class GraphFailure(RuntimeError):
+    """A job exhausted its retry budget; carries the graph's report."""
+
+    def __init__(self, message: str, report: GraphReport):
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class _Inflight:
+    """Bookkeeping for one pool submission."""
+
+    spec: JobSpec
+    key: str
+    names: List[str]
+    attempt: int
+    started: float
+
+
 class ExperimentOrchestrator:
     """Executes job DAGs across a worker pool with result memoization.
 
@@ -520,7 +638,27 @@ class ExperimentOrchestrator:
             full-width for eager setups, a bounded chunk for streaming
             ones). Also excluded from cache keys — chunking never changes
             results, only peak memory.
+        job_timeout: Seconds a pool job may run before it is presumed
+            stuck; the pool is torn down (a running task cannot be
+            cancelled individually), the overdue job is retried with
+            backoff, and on-time victims are resubmitted without penalty.
+            ``None`` (default) disables timeouts.
+        max_retries: Retry budget *per job* for crashes/timeouts/errors;
+            exceeding it raises :class:`GraphFailure` carrying the
+            structured :class:`GraphReport`.
+        retry_base_delay: First-retry backoff in seconds; doubles each
+            further attempt, plus seeded jitter.
+        retry_seed: Seed for the deterministic backoff jitter.
+        fault_plan: A :class:`repro.faults.FaultPlan` shipped to every
+            pool worker (chaos testing); ``None`` injects nothing.
+
+    Attributes:
+        last_report: The :class:`GraphReport` of the most recent
+            :meth:`run_graph` call (``None`` before the first run).
     """
+
+    #: Cap on the exponential backoff delay between retries.
+    RETRY_MAX_DELAY = 30.0
 
     def __init__(
         self,
@@ -530,18 +668,64 @@ class ExperimentOrchestrator:
         store: Optional[ResultStore] = None,
         backend: str = "vectorized",
         chunk_size: Optional[int] = None,
+        job_timeout: Optional[float] = None,
+        max_retries: int = 2,
+        retry_base_delay: float = 0.5,
+        retry_seed: int = 0,
+        fault_plan: Optional[faults.FaultPlan] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(
+                f"job_timeout must be positive, got {job_timeout}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_base_delay < 0:
+            raise ValueError(
+                f"retry_base_delay must be >= 0, got {retry_base_delay}"
+            )
         self.jobs = int(jobs)
         self.backend = backend
         self.chunk_size = chunk_size
+        self.job_timeout = None if job_timeout is None else float(job_timeout)
+        self.max_retries = int(max_retries)
+        self.retry_base_delay = float(retry_base_delay)
+        self.retry_seed = int(retry_seed)
+        self.fault_plan = fault_plan
+        self.checkpoint_dir: Optional[str] = None
+        self.checkpoint_every: int = 10
+        self.resume: bool = False
+        self.last_report: Optional[GraphReport] = None
         if store is not None:
             self.store = store
         elif cache_dir is not None:
             self.store = ResultStore(cache_dir)
         else:
             self.store = None
+
+    def with_checkpointing(
+        self,
+        directory: "os.PathLike[str] | str",
+        *,
+        every: int = 10,
+        resume: bool = False,
+    ) -> "ExperimentOrchestrator":
+        """Enable trainer checkpointing for the train jobs this
+        orchestrator builds (returns ``self`` for chaining).
+
+        Each train job checkpoints into its own key-derived subdirectory
+        of ``directory``; with ``resume`` a re-run (or an automatic retry
+        after a crash) continues from the newest checkpoint instead of
+        restarting round 0. Checkpoint knobs never enter cache keys.
+        """
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.checkpoint_dir = str(directory)
+        self.checkpoint_every = int(every)
+        self.resume = bool(resume)
+        return self
 
     # Core executor ----------------------------------------------------------
 
@@ -553,6 +737,18 @@ class ExperimentOrchestrator:
         Ready nodes (all dependencies resolved) run as soon as a worker is
         free; cache hits resolve without touching the pool. Node results
         are deterministic, so scheduling order never affects values.
+
+        The parallel path is fault-tolerant: a job whose worker dies
+        (:class:`~concurrent.futures.process.BrokenProcessPool`), raises,
+        or exceeds ``job_timeout`` is retried up to ``max_retries`` times
+        with exponential backoff and seeded jitter on a fresh pool; other
+        jobs that were inflight when a pool died are resubmitted without
+        penalty. Every incident lands in :attr:`last_report`; a job that
+        exhausts its budget raises :class:`GraphFailure`. The pool is
+        always shut down — forcibly (terminating workers) when jobs were
+        still inflight, as on ``KeyboardInterrupt``. The serial path
+        (``jobs=1``) is the reference order and simply propagates
+        failures.
         """
         by_name = {node.name: node for node in nodes}
         if len(by_name) != len(nodes):
@@ -571,6 +767,8 @@ class ExperimentOrchestrator:
         # same q vector) compute once even without an on-disk store.
         setup_doc = setup_fingerprint(prepared)
         memo: Dict[str, Any] = {}
+        report = GraphReport()
+        self.last_report = report
         if self.jobs == 1:
             while remaining:
                 ready = [
@@ -593,14 +791,101 @@ class ExperimentOrchestrator:
         # ships) is created lazily on the first cache miss, so a fully
         # warm re-run never pays worker startup at all.
         pool: Optional[ProcessPoolExecutor] = None
-        # future -> (spec, key, node names awaiting it). Several nodes
-        # can share one content-addressed key (e.g. two schemes
-        # inducing the same q vector); `inflight` coalesces them onto
-        # a single pool submission instead of recomputing.
-        futures: Dict[Any, Tuple[JobSpec, str, List[str]]] = {}
+        payload: Optional[bytes] = None
+        # future -> _Inflight(spec, key, node names awaiting it, attempt,
+        # start time). Several nodes can share one content-addressed key
+        # (e.g. two schemes inducing the same q vector); `inflight`
+        # coalesces them onto a single pool submission instead of
+        # recomputing. `pending` holds retries waiting out their backoff.
+        futures: Dict[Any, _Inflight] = {}
         inflight: Dict[str, Any] = {}
+        pending: List[dict] = []
+        pending_keys: Dict[str, dict] = {}
+
+        def submit(
+            spec: JobSpec, key: str, names: List[str], attempt: int
+        ) -> None:
+            nonlocal pool, payload
+            if pool is None:
+                if payload is None:
+                    payload = pickle.dumps(
+                        prepared, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    initializer=_init_worker,
+                    initargs=(payload, self.fault_plan),
+                )
+            future = pool.submit(_run_remote, spec, attempt, key)
+            futures[future] = _Inflight(
+                spec, key, list(names), attempt, time.monotonic()
+            )
+            inflight[key] = future
+            report.submitted += 1
+
+        def requeue(info: _Inflight, attempt: int, delay: float) -> None:
+            entry = {
+                "ready_at": time.monotonic() + delay,
+                "spec": info.spec,
+                "key": info.key,
+                "names": list(info.names),
+                "attempt": attempt,
+            }
+            pending.append(entry)
+            pending_keys[info.key] = entry
+
+        def fail_and_retry(
+            info: _Inflight, event: str, detail: Optional[str] = None
+        ) -> None:
+            incident = {
+                "key": info.key,
+                "nodes": list(info.names),
+                "attempt": info.attempt,
+            }
+            if detail is not None:
+                incident["error"] = detail
+            report.record(event, **incident)
+            if event == "crash":
+                report.crashes += 1
+            elif event == "timeout":
+                report.timeouts += 1
+            attempt = info.attempt + 1
+            if attempt > self.max_retries:
+                report.record(
+                    "exhausted",
+                    key=info.key,
+                    nodes=list(info.names),
+                    attempts=attempt,
+                )
+                raise GraphFailure(
+                    f"job {info.names[0]!r} (key {info.key[:12]}...) failed "
+                    f"{attempt} time(s), last failure: {event}"
+                    f"{'' if detail is None else f' ({detail})'}; retry "
+                    f"budget was {self.max_retries}. Structured incident "
+                    "log in this exception's .report",
+                    report,
+                )
+            delay = self._retry_delay(info.key, attempt)
+            report.retries += 1
+            report.record(
+                "retry",
+                key=info.key,
+                nodes=list(info.names),
+                attempt=attempt,
+                delay=round(delay, 3),
+            )
+            logger.warning(
+                "orchestrator: job %s failed (%s); retry %d/%d in %.2fs",
+                info.names[0],
+                event,
+                attempt,
+                self.max_retries,
+                delay,
+            )
+            requeue(info, attempt, delay)
+
         try:
-            while remaining or futures:
+            while remaining or futures or pending:
                 progressed = True
                 while progressed:
                     progressed = False
@@ -616,47 +901,191 @@ class ExperimentOrchestrator:
                             results[name] = cached
                             progressed = True
                         elif key in inflight:
-                            futures[inflight[key]][2].append(name)
+                            futures[inflight[key]].names.append(name)
+                        elif key in pending_keys:
+                            pending_keys[key]["names"].append(name)
                         else:
-                            if pool is None:
-                                pool = ProcessPoolExecutor(
-                                    max_workers=self.jobs,
-                                    initializer=_init_worker,
-                                    initargs=(
-                                        pickle.dumps(
-                                            prepared,
-                                            protocol=(
-                                                pickle.HIGHEST_PROTOCOL
-                                            ),
-                                        ),
-                                    ),
-                                )
-                            future = pool.submit(_run_remote, spec)
-                            futures[future] = (spec, key, [name])
-                            inflight[key] = future
+                            submit(spec, key, [name], 0)
                         del remaining[name]
+                # Release retries whose backoff has elapsed.
+                now = time.monotonic()
+                due = [e for e in pending if e["ready_at"] <= now]
+                if due:
+                    pending[:] = [e for e in pending if e["ready_at"] > now]
+                    for entry in due:
+                        del pending_keys[entry["key"]]
+                        submit(
+                            entry["spec"],
+                            entry["key"],
+                            entry["names"],
+                            entry["attempt"],
+                        )
                 if not futures:
+                    if pending:
+                        time.sleep(
+                            max(
+                                0.0,
+                                min(e["ready_at"] for e in pending)
+                                - time.monotonic(),
+                            )
+                        )
+                        continue
                     if remaining:
                         raise ValueError(
                             "job graph contains a dependency cycle"
                         )
                     break
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                done, _ = wait(
+                    list(futures),
+                    timeout=self._wait_timeout(futures, pending),
+                    return_when=FIRST_COMPLETED,
+                )
+                pool_broken = False
                 for future in done:
-                    spec, key, names = futures.pop(future)
-                    del inflight[key]
-                    doc = future.result()
-                    self._persist(
-                        prepared, spec, key, doc, setup_doc=setup_doc
-                    )
-                    decoded = self._decode(prepared, spec, doc)
-                    memo[key] = decoded
-                    for name in names:
+                    info = futures.pop(future)
+                    inflight.pop(info.key, None)
+                    try:
+                        doc = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        fail_and_retry(info, "crash")
+                        continue
+                    except Exception as error:
+                        fail_and_retry(info, "error", detail=repr(error))
+                        continue
+                    try:
+                        self._persist(
+                            prepared, info.spec, info.key, doc,
+                            setup_doc=setup_doc,
+                        )
+                    except ResultStoreError as error:
+                        # The result is in hand; losing its memoization is
+                        # recoverable and must not kill the graph.
+                        report.record(
+                            "store-error", key=info.key, error=str(error)
+                        )
+                        logger.warning("%s", error)
+                    decoded = self._decode(prepared, info.spec, doc)
+                    memo[info.key] = decoded
+                    for name in info.names:
                         results[name] = decoded
+                if pool_broken:
+                    # A dead worker poisons the whole pool: every other
+                    # inflight future fails with BrokenProcessPool too.
+                    # They are victims, not culprits — resubmit them on a
+                    # fresh pool at the same attempt, immediately.
+                    for victim in futures.values():
+                        requeue(victim, victim.attempt, 0.0)
+                    futures.clear()
+                    inflight.clear()
+                    self._shutdown_pool(pool, force=True)
+                    pool = None
+                    continue
+                if self.job_timeout is not None and futures:
+                    poisoned = self._enforce_timeouts(
+                        futures, inflight, fail_and_retry, requeue
+                    )
+                    if poisoned:
+                        # A stuck running task cannot be cancelled — the
+                        # pool itself must go. Futures already *done* stay
+                        # in the books: their results live in the future
+                        # objects and survive the shutdown.
+                        self._shutdown_pool(pool, force=True)
+                        pool = None
         finally:
             if pool is not None:
-                pool.shutdown()
+                self._shutdown_pool(pool, force=bool(futures))
         return results
+
+    def _wait_timeout(
+        self, futures: Dict[Any, _Inflight], pending: List[dict]
+    ) -> Optional[float]:
+        """How long the scheduler may block: until the next retry becomes
+        due or the oldest inflight job would exceed ``job_timeout``."""
+        timeout: Optional[float] = None
+        now = time.monotonic()
+        if pending:
+            timeout = max(
+                0.0, min(e["ready_at"] for e in pending) - now
+            )
+        if self.job_timeout is not None:
+            oldest = min(info.started for info in futures.values())
+            until_deadline = max(0.0, oldest + self.job_timeout - now)
+            timeout = (
+                until_deadline
+                if timeout is None
+                else min(timeout, until_deadline)
+            )
+        return timeout
+
+    def _enforce_timeouts(
+        self,
+        futures: Dict[Any, _Inflight],
+        inflight: Dict[str, Any],
+        fail_and_retry: Callable[..., None],
+        requeue: Callable[..., None],
+    ) -> bool:
+        """Handle jobs running past ``job_timeout``.
+
+        Returns whether the pool is now poisoned and must be replaced. A
+        :class:`ProcessPoolExecutor` cannot cancel a *running* task, so
+        one overdue job costs the whole pool: overdue jobs retry with
+        backoff, on-time victims resubmit immediately at their current
+        attempt, and futures that already completed (but are not yet
+        collected) stay — their results survive the pool.
+        """
+        now = time.monotonic()
+        overdue = {
+            future
+            for future, info in futures.items()
+            if not future.done() and now - info.started >= self.job_timeout
+        }
+        if not overdue:
+            return False
+        for future, info in list(futures.items()):
+            if future.done():
+                continue
+            del futures[future]
+            inflight.pop(info.key, None)
+            if future in overdue:
+                fail_and_retry(info, "timeout")
+            else:
+                requeue(info, info.attempt, 0.0)
+        return True
+
+    def _retry_delay(self, key: str, attempt: int) -> float:
+        """Exponential backoff with deterministic, key-seeded jitter."""
+        base = self.retry_base_delay * (2.0 ** (attempt - 1))
+        jitter = float(
+            spawn_rng(self.retry_seed, "retry", key, str(attempt)).random()
+        )
+        return min(self.RETRY_MAX_DELAY, base) * (1.0 + 0.25 * jitter)
+
+    @staticmethod
+    def _shutdown_pool(
+        pool: Optional[ProcessPoolExecutor], *, force: bool = False
+    ) -> None:
+        """Shut a pool down; ``force`` terminates workers outright.
+
+        The forced path runs when jobs are still inflight (timeout or
+        crash recovery, ``KeyboardInterrupt``, a fatal error): a graceful
+        ``shutdown()`` would block on — or leak — running workers, so
+        they are terminated and reaped instead.
+        """
+        if pool is None:
+            return
+        if not force:
+            pool.shutdown()
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=5)
 
     def _lookup(
         self,
@@ -727,7 +1156,16 @@ class ExperimentOrchestrator:
         if cached is not None:
             return cached
         doc = _execute_spec(prepared, spec)
-        self._persist(prepared, spec, key, doc, setup_doc=setup_doc)
+        try:
+            self._persist(prepared, spec, key, doc, setup_doc=setup_doc)
+        except ResultStoreError as error:
+            # The computed result is in hand; losing its memoization is
+            # recoverable and must not kill the run.
+            if self.last_report is not None:
+                self.last_report.record(
+                    "store-error", key=key, error=str(error)
+                )
+            logger.warning("%s", error)
         decoded = self._decode(prepared, spec, doc)
         if memo is not None:
             memo[key] = decoded
@@ -795,6 +1233,9 @@ class ExperimentOrchestrator:
                 participation=participation,
                 exclude_zero=exclude_zero and 0.0 in q_vector,
                 chunk_size=self.chunk_size,
+                checkpoint_dir=self.checkpoint_dir,
+                checkpoint_every=self.checkpoint_every,
+                resume=self.resume,
             )
 
         nodes: List[JobNode] = []
@@ -902,6 +1343,9 @@ class ExperimentOrchestrator:
                                 seed=s,
                                 backend=self.backend,
                                 chunk_size=self.chunk_size,
+                                checkpoint_dir=self.checkpoint_dir,
+                                checkpoint_every=self.checkpoint_every,
+                                resume=self.resume,
                             ),
                         )
                     )

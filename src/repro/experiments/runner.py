@@ -23,6 +23,7 @@ import numpy as np
 from repro.experiments.setup import PreparedSetup
 from repro.fl import (
     BernoulliParticipation,
+    CheckpointConfig,
     FederatedTrainer,
     ParticipationSpec,
     TrainingHistory,
@@ -66,6 +67,9 @@ def run_history(
     participation: Optional[ParticipationSpec] = None,
     exclude_zero: bool = False,
     chunk_size: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 10,
+    resume: bool = False,
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
 
@@ -94,6 +98,13 @@ def run_history(
     :class:`~repro.fl.FederatedTrainer`); like ``backend`` it never changes
     the produced history — streaming/megafleet setups pick a bounded
     default automatically, eager setups default to the full-width stack.
+
+    ``checkpoint_dir`` enables periodic round checkpoints (every
+    ``checkpoint_every`` rounds) into that directory; with ``resume`` the
+    run continues from the newest checkpoint a killed run left behind.
+    A resumed history is bit-identical to an uninterrupted one (see
+    :mod:`repro.fl.checkpoint`), so — like ``backend``/``chunk_size`` —
+    the checkpoint knobs never enter cache keys.
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
@@ -134,7 +145,12 @@ def run_history(
         backend=backend,
         chunk_size=chunk_size,
     )
-    return trainer.run(config.num_rounds)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        checkpoint = CheckpointConfig(
+            directory=checkpoint_dir, every=checkpoint_every, resume=resume
+        )
+    return trainer.run(config.num_rounds, checkpoint=checkpoint)
 
 
 @dataclass

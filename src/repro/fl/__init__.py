@@ -32,8 +32,14 @@ Public symbols and their paper correspondence:
   :class:`IntermittentAvailabilityParticipation` cover the comparison
   regimes from the partial-participation literature.
 * :class:`ParticipationSpec` — declarative, hashable description of a
-  participation process (``bernoulli | correlated | intermittent``); the
-  scenario layer threads it through train jobs and cache keys.
+  participation process (``bernoulli | correlated | intermittent |
+  dropout``); the scenario layer threads it through train jobs and cache
+  keys. :class:`DropoutParticipation` models clients that fail *after*
+  selection, folding the failure rate into the effective inclusion
+  probability so Lemma-1 aggregation stays unbiased under faults.
+* :class:`CheckpointConfig` / :class:`CheckpointManager` — periodic
+  atomic round checkpoints; a killed run resumed from its latest
+  checkpoint produces a bit-identical history.
 * :func:`audit_participation` / :func:`empirical_participation_counts` /
   :class:`AuditReport` / :class:`ClientAudit` — verify that realized
   participation frequencies match the contracted ``q`` (the mechanism's
@@ -52,11 +58,13 @@ from repro.fl.audit import (
     audit_participation,
     empirical_participation_counts,
 )
+from repro.fl.checkpoint import CheckpointConfig, CheckpointManager
 from repro.fl.client import FLClient
 from repro.fl.history import RoundRecord, TrainingHistory, average_histories
 from repro.fl.participation import (
     BernoulliParticipation,
     CorrelatedParticipation,
+    DropoutParticipation,
     FixedSubsetParticipation,
     FullParticipation,
     IntermittentAvailabilityParticipation,
@@ -78,10 +86,13 @@ __all__ = [
     "UnbiasedDeltaAggregator",
     "ParticipantsOnlyAggregator",
     "NaiveInverseAggregator",
+    "CheckpointConfig",
+    "CheckpointManager",
     "ParticipationModel",
     "ParticipationSpec",
     "BernoulliParticipation",
     "CorrelatedParticipation",
+    "DropoutParticipation",
     "FullParticipation",
     "FixedSubsetParticipation",
     "IntermittentAvailabilityParticipation",

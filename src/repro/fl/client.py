@@ -9,7 +9,7 @@ import numpy as np
 from repro.datasets.base import Dataset
 from repro.models.base import Model
 from repro.models.optim import sgd_steps
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, restore_rng_state, rng_state_doc
 
 
 class FLClient:
@@ -49,6 +49,19 @@ class FLClient:
     def num_samples(self) -> int:
         """Local dataset size ``d_n``."""
         return len(self.dataset)
+
+    def rng_state(self) -> dict:
+        """JSON-serializable position of this client's SGD stream.
+
+        The stream is the client's only mutable state; checkpoints capture
+        it so a resumed run draws the exact batches an uninterrupted run
+        would have.
+        """
+        return rng_state_doc(self._rng)
+
+    def restore_rng(self, doc: dict) -> None:
+        """Restore the stream position captured by :meth:`rng_state`."""
+        restore_rng_state(self._rng, doc)
 
     @property
     def effective_batch_size(self) -> int:

@@ -49,6 +49,18 @@ class TrainingHistory:
     def __len__(self) -> int:
         return len(self.records)
 
+    def digest(self) -> str:
+        """Content hash of the full history (every field, every record).
+
+        Two histories digest equally iff they are bit-identical under the
+        lossless ``history/v1`` codec — the cheap way to assert the
+        determinism contract (backends, chunkings, checkpoint/resume) in
+        tests and logs.
+        """
+        from repro.utils.serialization import content_address, history_to_doc
+
+        return content_address(history_to_doc(self))
+
     # Column accessors -------------------------------------------------------
 
     def _column(self, name: str) -> np.ndarray:

@@ -15,8 +15,16 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.utils.rng import SeedLike, spawn_rng
+from repro.utils.rng import (
+    SeedLike,
+    restore_rng_state,
+    rng_state_doc,
+    spawn_rng,
+)
 from repro.utils.validation import check_probability_vector
+
+#: Format tag of participation-state checkpoint documents.
+STATE_FORMAT = "participation-state/v1"
 
 
 class ParticipationModel(ABC):
@@ -44,6 +52,46 @@ class ParticipationModel(ABC):
     def expected_participants(self) -> float:
         """Expected number of participants per round ``sum_n q_n``."""
         return float(self.inclusion_probabilities.sum())
+
+    # Checkpoint support -----------------------------------------------------
+
+    def state_doc(self) -> dict:
+        """JSON-serializable snapshot of this model's mutable state.
+
+        Captures the RNG stream position (when the model is stochastic)
+        plus any model-specific state from :meth:`_extra_state_doc`.
+        Restoring the snapshot with :meth:`restore_state` makes subsequent
+        :meth:`sample_round` draws bit-identical to an uninterrupted run.
+        """
+        doc = {"format": STATE_FORMAT, "model": type(self).__name__}
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            doc["rng"] = rng_state_doc(rng)
+        doc.update(self._extra_state_doc())
+        return doc
+
+    def restore_state(self, doc: dict) -> None:
+        """Restore the snapshot taken by :meth:`state_doc`."""
+        if doc.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"not a participation-state document: {doc.get('format')!r}"
+            )
+        if doc.get("model") != type(self).__name__:
+            raise ValueError(
+                f"state for {doc.get('model')!r} cannot restore a "
+                f"{type(self).__name__}"
+            )
+        rng = getattr(self, "_rng", None)
+        if rng is not None:
+            restore_rng_state(rng, doc["rng"])
+        self._restore_extra_state(doc)
+
+    def _extra_state_doc(self) -> dict:
+        """Model-specific mutable state beyond the RNG (override)."""
+        return {}
+
+    def _restore_extra_state(self, doc: dict) -> None:
+        """Inverse of :meth:`_extra_state_doc` (override)."""
 
 
 class BernoulliParticipation(ParticipationModel):
@@ -179,6 +227,85 @@ class IntermittentAvailabilityParticipation(ParticipationModel):
     def inclusion_probabilities(self) -> np.ndarray:
         return self._stationary_on * self._q
 
+    def _extra_state_doc(self) -> dict:
+        # The Markov availability state is mutable across rounds and must
+        # resume exactly, or the chain diverges from the original run.
+        return {"available": [bool(v) for v in self._available]}
+
+    def _restore_extra_state(self, doc: dict) -> None:
+        available = np.asarray(doc["available"], dtype=bool)
+        if available.shape != (self.num_clients,):
+            raise ValueError(
+                f"availability snapshot covers {available.size} clients, "
+                f"model has {self.num_clients}"
+            )
+        self._available = available
+
+
+class DropoutParticipation(ParticipationModel):
+    """Selection followed by independent mid-round failure (extension).
+
+    The paper's clients either participate in a round or don't; a real
+    fleet has a third outcome — a client is *selected*, starts the round,
+    and then fails (crash, network loss, battery) before its update
+    reaches the server. Dropping such clients naively would bias the
+    aggregate exactly the way under-sampling does, so this model folds the
+    failure process into the participation distribution: client ``n``
+    is willing with probability ``q_n`` and then *survives* the round with
+    probability ``1 - dropout``, independently across clients and rounds.
+    The delivered-update probability is therefore
+
+        ``pi_n = q_n * (1 - dropout)``
+
+    which is what :attr:`inclusion_probabilities` reports — the Lemma-1
+    aggregator divides by ``pi_n`` and the global update stays an unbiased
+    estimate of the full-participation update under failure (same
+    composition argument as
+    :class:`IntermittentAvailabilityParticipation`).
+
+    Note ``dropout=0`` is *distributionally* identical to
+    :class:`BernoulliParticipation` but consumes two uniform vectors per
+    round instead of one, so realized masks differ draw-by-draw.
+
+    Args:
+        probabilities: The game-chosen willingness probabilities ``q``.
+        dropout: Per-round, per-client failure probability in ``[0, 1)``.
+        rng: Seed or generator.
+    """
+
+    def __init__(
+        self,
+        probabilities: Sequence[float],
+        *,
+        dropout: float = 0.1,
+        rng: SeedLike = None,
+    ):
+        probabilities = check_probability_vector(
+            probabilities, "probabilities"
+        )
+        super().__init__(len(probabilities))
+        if not 0 <= dropout < 1:
+            raise ValueError(
+                f"dropout must lie in [0, 1), got {dropout}"
+            )
+        self._q = probabilities
+        self._dropout = float(dropout)
+        self._rng = spawn_rng(rng)
+
+    @property
+    def dropout(self) -> float:
+        """Per-round probability a selected client fails mid-round."""
+        return self._dropout
+
+    def sample_round(self, round_index: int) -> np.ndarray:
+        willing = self._rng.random(self.num_clients) < self._q
+        survives = self._rng.random(self.num_clients) >= self._dropout
+        return willing & survives
+
+    @property
+    def inclusion_probabilities(self) -> np.ndarray:
+        return (1.0 - self._dropout) * self._q
+
 
 class CorrelatedParticipation(ParticipationModel):
     """Exchangeable common-shock Bernoulli participation (extension).
@@ -283,27 +410,35 @@ class ParticipationSpec:
 
     Attributes:
         kind: ``"bernoulli"`` (the paper's independent model),
-            ``"correlated"`` (:class:`CorrelatedParticipation`), or
-            ``"intermittent"`` (:class:`IntermittentAvailabilityParticipation`).
+            ``"correlated"`` (:class:`CorrelatedParticipation`),
+            ``"intermittent"``
+            (:class:`IntermittentAvailabilityParticipation`), or
+            ``"dropout"`` (:class:`DropoutParticipation`).
         correlation: Synchronized-round probability (``correlated`` only).
         on_to_off: Per-round availability-loss probability
             (``intermittent`` only).
         off_to_on: Per-round availability-recovery probability
             (``intermittent`` only).
+        dropout: Mid-round failure probability (``dropout`` only).
     """
 
     kind: str = "bernoulli"
     correlation: float = 0.5
     on_to_off: float = 0.1
     off_to_on: float = 0.3
+    dropout: float = 0.1
 
-    _KINDS = ("bernoulli", "correlated", "intermittent")
+    _KINDS = ("bernoulli", "correlated", "intermittent", "dropout")
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise ValueError(
                 f"unknown participation kind {self.kind!r}; choose from "
                 f"{self._KINDS}"
+            )
+        if self.kind == "dropout" and not 0 <= self.dropout < 1:
+            raise ValueError(
+                f"dropout must lie in [0, 1), got {self.dropout}"
             )
 
     def build(
@@ -315,6 +450,10 @@ class ParticipationSpec:
         if self.kind == "correlated":
             return CorrelatedParticipation(
                 probabilities, correlation=self.correlation, rng=rng
+            )
+        if self.kind == "dropout":
+            return DropoutParticipation(
+                probabilities, dropout=self.dropout, rng=rng
             )
         return IntermittentAvailabilityParticipation(
             probabilities,
@@ -335,6 +474,8 @@ class ParticipationSpec:
         if self.kind == "intermittent":
             stationary_on = self.off_to_on / (self.on_to_off + self.off_to_on)
             return stationary_on * probabilities
+        if self.kind == "dropout":
+            return (1.0 - self.dropout) * probabilities
         return probabilities.copy()
 
     def to_doc(self) -> dict:
@@ -345,6 +486,8 @@ class ParticipationSpec:
         elif self.kind == "intermittent":
             doc["on_to_off"] = float(self.on_to_off)
             doc["off_to_on"] = float(self.off_to_on)
+        elif self.kind == "dropout":
+            doc["dropout"] = float(self.dropout)
         return doc
 
     @classmethod

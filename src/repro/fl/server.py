@@ -45,6 +45,23 @@ class FLServer:
         """Number of completed aggregation rounds."""
         return self._round
 
+    def restore(self, params: np.ndarray, round_index: int) -> None:
+        """Reset the global model to a checkpointed state.
+
+        Used by :class:`~repro.fl.checkpoint.CheckpointManager` resume;
+        ``params`` must match the current parameter dimension.
+        """
+        params = np.array(params, dtype=float, copy=True)
+        if params.shape != self._params.shape:
+            raise ValueError(
+                f"checkpointed params have shape {params.shape}, server "
+                f"holds {self._params.shape}"
+            )
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        self._params = params
+        self._round = int(round_index)
+
     def apply_round(
         self,
         local_params: Dict[int, np.ndarray],

@@ -37,6 +37,11 @@ import numpy as np
 
 from repro.datasets.federated import FederatedDataset
 from repro.fl.aggregation import Aggregator, UnbiasedDeltaAggregator
+from repro.fl.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointConfig,
+    CheckpointManager,
+)
 from repro.fl.client import FLClient
 from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.participation import ParticipationModel
@@ -350,27 +355,55 @@ class FederatedTrainer:
             )
         return self._local_updates_loop(global_params, step_size, mask)
 
-    def run(self, num_rounds: int) -> TrainingHistory:
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        checkpoint: Optional[CheckpointConfig] = None,
+    ) -> TrainingHistory:
         """Train for ``num_rounds`` rounds and return the recorded history.
 
         The round-0 state (before any update) is recorded first so
         time-to-target queries see the full curve.
+
+        Args:
+            num_rounds: Communication rounds to run.
+            checkpoint: When given, save a resumable snapshot every
+                ``checkpoint.every`` completed rounds and — if
+                ``checkpoint.resume`` — continue from the newest readable
+                checkpoint in ``checkpoint.directory``. A resumed run
+                replays the remaining rounds with exactly the random
+                draws and arithmetic of an uninterrupted one, so the
+                returned history is bit-identical (any backend, any
+                chunking).
         """
         if num_rounds < 1:
             raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        manager = (
+            CheckpointManager(checkpoint) if checkpoint is not None else None
+        )
         history = TrainingHistory()
         sim_time = 0.0
-        history.append(
-            RoundRecord(
-                round_index=-1,
-                sim_time=0.0,
-                num_participants=0,
-                step_size=float(self.schedule(0)),
-                **self._evaluate(self.server.params),
+        start_round = 0
+        resumed = None
+        if manager is not None and checkpoint.resume:
+            resumed = manager.latest_doc()
+        if resumed is not None:
+            start_round, sim_time, history = self._restore_checkpoint(
+                resumed, num_rounds
             )
-        )
+        else:
+            history.append(
+                RoundRecord(
+                    round_index=-1,
+                    sim_time=0.0,
+                    num_participants=0,
+                    step_size=float(self.schedule(0)),
+                    **self._evaluate(self.server.params),
+                )
+            )
         q = self.participation.inclusion_probabilities
-        for round_index in range(num_rounds):
+        for round_index in range(start_round, num_rounds):
             step_size = float(self.schedule(round_index))
             mask = self.participation.sample_round(round_index)
             global_params = self.server.params
@@ -397,4 +430,90 @@ class FederatedTrainer:
                     **metrics,
                 )
             )
+            if manager is not None and manager.due(round_index, num_rounds):
+                manager.save(
+                    self._checkpoint_doc(
+                        round_index + 1, sim_time, history, num_rounds
+                    )
+                )
         return history
+
+    # Checkpoint / resume ----------------------------------------------------
+
+    def _config_fingerprint(self) -> dict:
+        """Trainer shape a checkpoint must match to be resumable.
+
+        ``backend`` and ``chunk_size`` are deliberately absent: every
+        backend x chunking consumes identical random draws (the
+        determinism contract), so a checkpoint taken on one resumes
+        bit-identically on any other.
+        """
+        return {
+            "num_clients": len(self.clients),
+            "local_steps": self.local_steps,
+            "eval_every": self.eval_every,
+            "batch_size": self.clients[0].batch_size,
+        }
+
+    def _checkpoint_doc(
+        self,
+        next_round: int,
+        sim_time: float,
+        history: TrainingHistory,
+        num_rounds: int,
+    ) -> dict:
+        """Snapshot of all mutable training state entering ``next_round``."""
+        from repro.utils.serialization import history_to_doc
+
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "next_round": int(next_round),
+            "num_rounds": int(num_rounds),
+            "sim_time": float(sim_time),
+            "params": [float(v) for v in self.server.params],
+            "server_round": int(self.server.round_index),
+            "history": history_to_doc(history),
+            "participation": self.participation.state_doc(),
+            "clients": [client.rng_state() for client in self.clients],
+            "trainer": self._config_fingerprint(),
+        }
+
+    def _restore_checkpoint(self, doc: dict, num_rounds: int):
+        """Load a checkpoint document into live trainer state.
+
+        Returns ``(next_round, sim_time, history)`` for :meth:`run` to
+        continue from.
+        """
+        from repro.utils.serialization import history_from_doc
+
+        if doc.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"not a checkpoint document: {doc.get('format')!r}"
+            )
+        fingerprint = self._config_fingerprint()
+        recorded = doc.get("trainer", {})
+        if recorded != fingerprint:
+            raise ValueError(
+                "checkpoint was taken by a differently-configured trainer: "
+                f"checkpoint {recorded}, this trainer {fingerprint}"
+            )
+        next_round = int(doc["next_round"])
+        if next_round >= num_rounds:
+            raise ValueError(
+                f"checkpoint is at round {next_round} but the run is only "
+                f"{num_rounds} rounds; nothing to resume"
+            )
+        if len(doc["clients"]) != len(self.clients):
+            raise ValueError(
+                f"checkpoint covers {len(doc['clients'])} clients, trainer "
+                f"has {len(self.clients)}"
+            )
+        self.server.restore(
+            np.asarray(doc["params"], dtype=float), int(doc["server_round"])
+        )
+        self.participation.restore_state(doc["participation"])
+        for client, state in zip(self.clients, doc["clients"]):
+            client.restore_rng(state)
+        return next_round, float(doc["sim_time"]), history_from_doc(
+            doc["history"]
+        )

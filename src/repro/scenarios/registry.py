@@ -21,6 +21,11 @@ Built-in suite
   the Sun-et-al.-style regime that stresses unbiased aggregation variance.
 * ``intermittent-fleet`` — devices drop on/off via a two-state Markov
   chain; effective inclusion is availability x willingness.
+* ``flaky-fleet`` — selected clients fail mid-round with probability 0.3;
+  the dropout folds into the effective inclusion probability
+  (``q x (1 - dropout)``) so Lemma-1 aggregation stays unbiased under
+  client failure (the fault-tolerance counterpart of the participation
+  regimes above).
 * ``megafleet`` — 10,000 clients, game layer only: exercises the
   vectorized best-response/equilibrium path at production fleet size.
 * ``megafleet-train`` — 10,000 clients trained **end to end**: streaming
@@ -139,6 +144,17 @@ register_scenario(
             kind="intermittent", on_to_off=0.2, off_to_on=0.4
         ),
         tags=("participation",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flaky-fleet",
+        description="Clients fail mid-round with probability 0.3 after "
+        "being selected; dropout folds into the effective inclusion "
+        "probability so aggregation stays unbiased",
+        participation=ParticipationSpec(kind="dropout", dropout=0.3),
+        tags=("robustness", "participation"),
     )
 )
 

@@ -59,6 +59,49 @@ def spawn_rng(seed: SeedLike, *labels: str) -> np.random.Generator:
     return np.random.default_rng(sequence)
 
 
+def rng_state_doc(generator: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's bit-generator state.
+
+    numpy exposes the full state of a bit generator as a plain dict of
+    Python ints and strings (PCG64's 128-bit counters arrive as arbitrary-
+    precision ints, which JSON round-trips exactly), so the snapshot can be
+    embedded in checkpoint documents and restored bit-for-bit with
+    :func:`restore_rng_state`.
+    """
+    return _copy_state(generator.bit_generator.state)
+
+
+def restore_rng_state(generator: np.random.Generator, doc: dict) -> None:
+    """Restore a generator to the exact position captured by
+    :func:`rng_state_doc`.
+
+    The snapshot names its bit-generator algorithm; restoring onto a
+    generator backed by a different algorithm is rejected rather than
+    silently producing a divergent stream.
+    """
+    expected = type(generator.bit_generator).__name__
+    recorded = doc.get("bit_generator")
+    if recorded != expected:
+        raise ValueError(
+            f"cannot restore {recorded!r} state onto a {expected} "
+            "bit generator"
+        )
+    generator.bit_generator.state = _copy_state(doc)
+
+
+def _copy_state(state):
+    """Deep-copy a bit-generator state tree of dicts/ints/strings."""
+    if isinstance(state, dict):
+        return {key: _copy_state(value) for key, value in state.items()}
+    if isinstance(state, (list, tuple)):
+        return [_copy_state(item) for item in state]
+    if isinstance(state, np.ndarray):
+        return state.tolist()
+    if isinstance(state, np.integer):
+        return int(state)
+    return state
+
+
 class RngFactory:
     """Factory handing out independent named random streams from one seed.
 

@@ -184,3 +184,74 @@ class TestBrokenPipeHandling:
 
         monkeypatch.setattr(cli, "_cmd_scenarios", broken)
         assert cli.main(["scenarios", "list"]) == 1
+
+
+class TestFaultToleranceFlags:
+    def test_flags_parse_on_either_side_of_verb(self, tmp_path):
+        from repro.experiments.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["--checkpoint-dir", str(tmp_path), "--checkpoint-every", "5",
+             "--resume", "fig", "--id", "4"]
+        )
+        assert str(args.checkpoint_dir) == str(tmp_path)
+        assert args.checkpoint_every == 5
+        assert args.resume
+        args = parser.parse_args(
+            ["table", "--id", "2", "--job-timeout", "30", "--max-retries",
+             "4"]
+        )
+        assert args.job_timeout == 30.0
+        assert args.max_retries == 4
+
+    def test_defaults_build_no_orchestrator(self):
+        from repro.experiments.cli import _build_parser, _orchestrator
+
+        args = _build_parser().parse_args(["equilibrium"])
+        assert _orchestrator(args) is None
+
+    def test_checkpoint_dir_builds_checkpointing_orchestrator(
+        self, tmp_path
+    ):
+        from repro.experiments.cli import _build_parser, _orchestrator
+
+        args = _build_parser().parse_args(
+            ["--checkpoint-dir", str(tmp_path), "--checkpoint-every", "3",
+             "--resume", "--job-timeout", "60", "--max-retries", "5",
+             "equilibrium"]
+        )
+        orchestrator = _orchestrator(args)
+        assert orchestrator is not None
+        assert orchestrator.checkpoint_dir == str(tmp_path)
+        assert orchestrator.checkpoint_every == 3
+        assert orchestrator.resume
+        assert orchestrator.job_timeout == 60.0
+        assert orchestrator.max_retries == 5
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--resume", "equilibrium"],
+            ["--checkpoint-dir", "/tmp/x", "--checkpoint-every", "0",
+             "equilibrium"],
+            ["--job-timeout", "0", "equilibrium"],
+            ["--max-retries", "-1", "equilibrium"],
+        ],
+        ids=["resume-without-dir", "bad-every", "bad-timeout",
+             "bad-retries"],
+    )
+    def test_invalid_fault_flags_rejected(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+    def test_fig4_with_checkpointing_writes_checkpoints(
+        self, tmp_path, capsys
+    ):
+        code = main(
+            ["--setup", "setup1", "--out", str(tmp_path / "out"),
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--checkpoint-every", "7", "fig", "--id", "4"]
+        )
+        assert code == 0
+        assert list((tmp_path / "ckpt").glob("*/round-*.json"))
