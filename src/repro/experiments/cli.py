@@ -257,6 +257,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=None,
         help="independent runs per scheme (default: scale profile)",
     )
+
+    fuzz = add_verb(
+        "fuzz",
+        help="fuzz random economies against the invariant catalog",
+    )
+    fuzz.add_argument(
+        "action", choices=("run", "replay", "list"),
+        help="run: a seeded campaign (exit 1 on violations); replay: "
+        "re-check a saved repro artifact; list: the invariant catalog",
+    )
+    fuzz.add_argument(
+        "artifact", nargs="?", type=Path,
+        help="with 'replay': path to a fuzz-artifact/v1 JSON file",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=100, metavar="N",
+        help="cases per campaign (default: 100)",
+    )
+    fuzz.add_argument(
+        "--invariants", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated invariant names (default: the full catalog)",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", type=Path, default=Path("fuzz-artifacts"),
+        metavar="DIR",
+        help="where failing cases are written as repro artifacts "
+        "(default: fuzz-artifacts/; created only on failure)",
+    )
+    fuzz.add_argument(
+        "--train-every", type=int, default=10, metavar="K",
+        help="run the training-family invariants on every K-th case "
+        "(0 disables them; default: 10)",
+    )
+    fuzz.add_argument(
+        "--mutate", default=None, metavar="INVARIANT",
+        help="deliberately flip one invariant's verdict (mutation smoke "
+        "test: the campaign must fail and produce an artifact)",
+    )
+    fuzz.add_argument(
+        "--max-failures", type=int, default=5, metavar="N",
+        help="stop the campaign after this many failing cases "
+        "(default: 5)",
+    )
     return parser
 
 
@@ -532,6 +575,136 @@ def _cmd_scenarios(args) -> int:
         print(
             "scenarios: non-finite metrics in "
             + ", ".join(bad),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """``fuzz run|replay|list`` — invariant fuzzing campaigns.
+
+    ``run`` exits 1 when any case violates an invariant (after writing
+    shrunk repro artifacts); ``replay`` exits 1 when the saved artifact
+    still reproduces its recorded violation — the repro exists to
+    demonstrate a live bug, so "reproduced" is the failing outcome.
+    """
+    import json
+
+    from repro.testing import (
+        INVARIANTS,
+        catalog_table,
+        replay_artifact,
+        run_campaign,
+    )
+
+    if args.action == "list":
+        rows = [
+            [row["name"], row["family"], row["module"]]
+            for row in catalog_table()
+        ]
+        print(
+            render_table(
+                ["invariant", "family", "module"],
+                rows,
+                title=f"Invariant catalog ({len(rows)})",
+            )
+        )
+        return 0
+
+    invariants = None
+    if args.invariants:
+        invariants = [
+            name.strip()
+            for name in args.invariants.split(",")
+            if name.strip()
+        ]
+        unknown = [name for name in invariants if name not in INVARIANTS]
+        if unknown:
+            print(
+                f"fuzz: unknown invariants {unknown}; choose from "
+                f"{list(INVARIANTS)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.mutate is not None and args.mutate not in INVARIANTS:
+        print(
+            f"fuzz: unknown --mutate invariant {args.mutate!r}; choose "
+            f"from {list(INVARIANTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.action == "replay":
+        if args.artifact is None:
+            print(
+                "fuzz replay: pass the artifact path", file=sys.stderr
+            )
+            return 2
+        try:
+            summary = replay_artifact(args.artifact)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"fuzz replay: {error}", file=sys.stderr)
+            return 2
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        if summary["reproduced"]:
+            print(
+                "fuzz replay: violation reproduced "
+                f"({', '.join(summary['failing'])})",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # run
+    if args.artifact is not None:
+        print(
+            "fuzz run: the positional artifact only applies to 'replay'",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cases < 1:
+        print(
+            f"fuzz run: --cases must be >= 1, got {args.cases}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.train_every < 0:
+        print(
+            "fuzz run: --train-every must be >= 0, got "
+            f"{args.train_every}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_failures < 1:
+        print(
+            "fuzz run: --max-failures must be >= 1, got "
+            f"{args.max_failures}",
+            file=sys.stderr,
+        )
+        return 2
+    summary = run_campaign(
+        cases=args.cases,
+        seed=args.seed,
+        invariants=invariants,
+        train_every=args.train_every,
+        artifact_dir=args.artifact_dir,
+        mutate=args.mutate,
+        max_failures=args.max_failures,
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if summary["failures"]:
+        names = sorted(
+            {
+                name
+                for failure in summary["failures"]
+                for name in failure["invariants"]
+            }
+        )
+        print(
+            f"fuzz run: {len(summary['failures'])} failing case(s) "
+            f"violating {', '.join(names)}; artifacts in "
+            f"{args.artifact_dir}",
             file=sys.stderr,
         )
         return 1
@@ -996,6 +1169,8 @@ def _dispatch(args) -> int:
         return _cmd_scenarios(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "bench":
         if args.target == "trainer":
             return _cmd_bench_trainer(args)

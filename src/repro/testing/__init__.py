@@ -1,0 +1,71 @@
+"""Invariant fuzzing: random economies, a machine-checked invariant
+catalog, and seeded shrink-to-repro campaigns.
+
+Three modules:
+
+* :mod:`repro.testing.strategies` — seeded generators (and guarded
+  Hypothesis strategies) for economies, participation processes, and
+  scenario specs.
+* :mod:`repro.testing.invariants` — the :data:`INVARIANTS` registry of
+  named paper claims checked as executable predicates.
+* :mod:`repro.testing.fuzzer` — campaigns, greedy shrinking, and JSON
+  repro artifacts (driven by the ``fuzz`` CLI verb).
+"""
+
+from repro.testing.fuzzer import (
+    ARTIFACT_FORMAT,
+    CASE_FORMAT,
+    FuzzCase,
+    check_case,
+    draw_case,
+    failing_invariants,
+    replay_artifact,
+    run_campaign,
+    shrink_case,
+)
+from repro.testing.invariants import (
+    INVARIANTS,
+    Invariant,
+    InvariantContext,
+    InvariantReport,
+    Violation,
+    catalog_table,
+    register_invariant,
+)
+from repro.testing.strategies import (
+    HAVE_HYPOTHESIS,
+    draw_participation_spec,
+    draw_population,
+    draw_problem,
+    draw_scenario_spec,
+    draw_weights,
+    random_problem,
+    streaming_federation,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CASE_FORMAT",
+    "FuzzCase",
+    "HAVE_HYPOTHESIS",
+    "INVARIANTS",
+    "Invariant",
+    "InvariantContext",
+    "InvariantReport",
+    "Violation",
+    "catalog_table",
+    "check_case",
+    "draw_case",
+    "draw_participation_spec",
+    "draw_population",
+    "draw_problem",
+    "draw_scenario_spec",
+    "draw_weights",
+    "failing_invariants",
+    "random_problem",
+    "register_invariant",
+    "replay_artifact",
+    "run_campaign",
+    "shrink_case",
+    "streaming_federation",
+]

@@ -1,0 +1,493 @@
+"""Seeded fuzz campaigns over the invariant catalog.
+
+A campaign is a pure function of its root seed: case ``i`` is drawn from
+``spawn_rng(seed, "fuzz", str(i))``, so two invocations with the same
+``(cases, seed)`` check byte-identical economies and report the same
+digest. Failures shrink greedily to a minimal :class:`FuzzCase` and are
+written as self-contained JSON artifacts (``fuzz-artifact/v1``) that
+``fuzz replay`` re-checks from disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fl.participation import ParticipationSpec
+from repro.game.client_model import ClientPopulation
+from repro.game.mechanisms import MECHANISMS
+from repro.game.server_problem import ServerProblem
+from repro.scenarios.spec import ScenarioSpec
+from repro.testing.invariants import (
+    INVARIANTS,
+    InvariantContext,
+    InvariantReport,
+    Violation,
+)
+from repro.testing.strategies import (
+    draw_participation_spec,
+    draw_problem,
+    draw_scenario_spec,
+)
+from repro.utils.rng import spawn_rng
+from repro.utils.serialization import content_address, load_json, save_json
+
+ARTIFACT_FORMAT = "fuzz-artifact/v1"
+CASE_FORMAT = "fuzz-case/v1"
+
+#: Shrinking budget: candidate evaluations per failing case.
+MAX_SHRINK_ATTEMPTS = 120
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained fuzz input (economy x process x mechanism).
+
+    Everything is held as plain Python scalars/tuples so the case
+    serializes losslessly and compares by value — the shrinker relies on
+    both.
+    """
+
+    weights: Tuple[float, ...]
+    gradient_bounds: Tuple[float, ...]
+    costs: Tuple[float, ...]
+    values: Tuple[float, ...]
+    q_max: Tuple[float, ...]
+    alpha: float
+    num_rounds: int
+    budget: float
+    participation: ParticipationSpec
+    mechanism: str
+    seed: int
+    scenario: Optional[ScenarioSpec] = None
+
+    @property
+    def num_clients(self) -> int:
+        return len(self.weights)
+
+    def population(self) -> ClientPopulation:
+        sizes = np.asarray(self.weights, dtype=float)
+        return ClientPopulation(
+            weights=sizes / sizes.sum(),
+            gradient_bounds=np.asarray(self.gradient_bounds, dtype=float),
+            costs=np.asarray(self.costs, dtype=float),
+            values=np.asarray(self.values, dtype=float),
+            q_max=np.asarray(self.q_max, dtype=float),
+        )
+
+    def problem(self) -> ServerProblem:
+        return ServerProblem(
+            population=self.population(),
+            alpha=float(self.alpha),
+            num_rounds=int(self.num_rounds),
+            budget=float(self.budget),
+        )
+
+    def context(self, *, train: bool = False) -> InvariantContext:
+        return InvariantContext(
+            self.problem(),
+            self.participation,
+            self.mechanism,
+            seed=self.seed,
+            scenario=self.scenario,
+            train=train,
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "format": CASE_FORMAT,
+            "weights": list(self.weights),
+            "gradient_bounds": list(self.gradient_bounds),
+            "costs": list(self.costs),
+            "values": list(self.values),
+            "q_max": list(self.q_max),
+            "alpha": self.alpha,
+            "num_rounds": self.num_rounds,
+            "budget": self.budget,
+            "participation": self.participation.to_doc(),
+            "mechanism": self.mechanism,
+            "seed": self.seed,
+            "scenario": (
+                None if self.scenario is None else self.scenario.to_doc()
+            ),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "FuzzCase":
+        if doc.get("format") != CASE_FORMAT:
+            raise ValueError(
+                f"not a {CASE_FORMAT} document: {doc.get('format')!r}"
+            )
+        return cls(
+            weights=tuple(float(x) for x in doc["weights"]),
+            gradient_bounds=tuple(
+                float(x) for x in doc["gradient_bounds"]
+            ),
+            costs=tuple(float(x) for x in doc["costs"]),
+            values=tuple(float(x) for x in doc["values"]),
+            q_max=tuple(float(x) for x in doc["q_max"]),
+            alpha=float(doc["alpha"]),
+            num_rounds=int(doc["num_rounds"]),
+            budget=float(doc["budget"]),
+            participation=ParticipationSpec.from_doc(doc["participation"]),
+            mechanism=str(doc["mechanism"]),
+            seed=int(doc["seed"]),
+            scenario=(
+                None
+                if doc.get("scenario") is None
+                else ScenarioSpec.from_doc(doc["scenario"])
+            ),
+        )
+
+    def fingerprint(self) -> str:
+        return content_address(self.to_doc())
+
+
+def draw_case(rng: np.random.Generator, index: int) -> FuzzCase:
+    """Draw one fuzz case from the shared strategy library."""
+    problem = draw_problem(rng)
+    population = problem.population
+    mechanisms = sorted(MECHANISMS)
+    mechanism = mechanisms[int(rng.integers(len(mechanisms)))]
+    return FuzzCase(
+        weights=tuple(float(x) for x in population.weights),
+        gradient_bounds=tuple(
+            float(x) for x in population.gradient_bounds
+        ),
+        costs=tuple(float(x) for x in population.costs),
+        values=tuple(float(x) for x in population.values),
+        q_max=tuple(float(x) for x in population.q_max),
+        alpha=problem.alpha,
+        num_rounds=problem.num_rounds,
+        budget=problem.budget,
+        participation=draw_participation_spec(rng),
+        mechanism=mechanism,
+        seed=int(rng.integers(2**31)),
+        scenario=draw_scenario_spec(rng, index),
+    )
+
+
+def _resolve_invariants(names: Optional[Sequence[str]]) -> List[str]:
+    if names is None:
+        return list(INVARIANTS)
+    unknown = [name for name in names if name not in INVARIANTS]
+    if unknown:
+        raise ValueError(
+            f"unknown invariants {unknown}; choose from {list(INVARIANTS)}"
+        )
+    return list(names)
+
+
+def check_case(
+    case: FuzzCase,
+    invariant_names: Optional[Sequence[str]] = None,
+    *,
+    train: bool = False,
+    mutate: Optional[str] = None,
+) -> Dict[str, InvariantReport]:
+    """Run the named invariants (default: all) against one case.
+
+    ``mutate`` flips the named invariant's verdict — the campaign's
+    self-test that a broken invariant actually produces an artifact, and
+    that replay reproduces it.
+    """
+    names = _resolve_invariants(invariant_names)
+    context = case.context(train=train)
+    reports: Dict[str, InvariantReport] = {}
+    for name in names:
+        try:
+            report = INVARIANTS[name].run(context)
+        except Exception as error:  # solver blow-ups are violations too
+            report = InvariantReport(
+                name,
+                checked=True,
+                violations=[
+                    Violation(
+                        name,
+                        f"invariant check raised {type(error).__name__}",
+                        {"error": str(error)},
+                    )
+                ],
+            )
+        if mutate == name:
+            if report.checked and not report.violations:
+                report = InvariantReport(
+                    name,
+                    checked=True,
+                    violations=[
+                        Violation(
+                            name,
+                            "deliberately broken by --mutate "
+                            "(mutation smoke test)",
+                            {"mutated": True},
+                        )
+                    ],
+                )
+            else:
+                report = InvariantReport(name, checked=True, violations=[])
+        reports[name] = report
+    return reports
+
+
+def failing_invariants(reports: Dict[str, InvariantReport]) -> List[str]:
+    return [name for name, report in reports.items() if report.failed]
+
+
+def _uniform(values: Sequence[float], fill: float) -> Tuple[float, ...]:
+    return tuple(fill for _ in values)
+
+
+def _shrink_candidates(case: FuzzCase) -> List[FuzzCase]:
+    """Simpler variants of ``case``, roughly most-aggressive first."""
+    candidates: List[FuzzCase] = []
+    n = case.num_clients
+
+    def keep(indices: Sequence[int]) -> FuzzCase:
+        return dataclasses.replace(
+            case,
+            weights=tuple(case.weights[i] for i in indices),
+            gradient_bounds=tuple(
+                case.gradient_bounds[i] for i in indices
+            ),
+            costs=tuple(case.costs[i] for i in indices),
+            values=tuple(case.values[i] for i in indices),
+            q_max=tuple(case.q_max[i] for i in indices),
+        )
+
+    if n > 2:
+        half = n // 2
+        candidates.append(keep(range(half)))
+        candidates.append(keep(range(half, n)))
+        for drop in range(n):
+            candidates.append(
+                keep([i for i in range(n) if i != drop])
+            )
+    if any(v != 0.0 for v in case.values):
+        candidates.append(
+            dataclasses.replace(case, values=_uniform(case.values, 0.0))
+        )
+    if len(set(case.costs)) > 1:
+        mean_cost = sum(case.costs) / n
+        candidates.append(
+            dataclasses.replace(case, costs=_uniform(case.costs, mean_cost))
+        )
+    if len(set(case.gradient_bounds)) > 1:
+        mean_bound = sum(case.gradient_bounds) / n
+        candidates.append(
+            dataclasses.replace(
+                case,
+                gradient_bounds=_uniform(case.gradient_bounds, mean_bound),
+            )
+        )
+    if len(set(case.weights)) > 1:
+        candidates.append(
+            dataclasses.replace(case, weights=_uniform(case.weights, 1.0))
+        )
+    if any(cap != 1.0 for cap in case.q_max):
+        candidates.append(
+            dataclasses.replace(case, q_max=_uniform(case.q_max, 1.0))
+        )
+    if case.participation != ParticipationSpec(kind="bernoulli"):
+        candidates.append(
+            dataclasses.replace(
+                case, participation=ParticipationSpec(kind="bernoulli")
+            )
+        )
+    if case.num_rounds != 100:
+        candidates.append(dataclasses.replace(case, num_rounds=100))
+    if case.scenario is not None:
+        candidates.append(dataclasses.replace(case, scenario=None))
+    return candidates
+
+
+def shrink_case(
+    case: FuzzCase,
+    failing: Sequence[str],
+    *,
+    train: bool = False,
+    mutate: Optional[str] = None,
+) -> Tuple[FuzzCase, int]:
+    """Greedily simplify ``case`` while it still fails the same way.
+
+    A candidate is accepted iff every invariant in ``failing`` still
+    fails on it (a *superset* of failures is fine — the repro must keep
+    demonstrating what it was saved for). Returns the shrunk case and
+    the number of accepted shrink steps.
+    """
+    target = set(failing)
+    steps = 0
+    attempts = 0
+    improved = True
+    while improved and attempts < MAX_SHRINK_ATTEMPTS:
+        improved = False
+        for candidate in _shrink_candidates(case):
+            attempts += 1
+            if attempts > MAX_SHRINK_ATTEMPTS:
+                break
+            try:
+                reports = check_case(
+                    candidate, sorted(target), train=train, mutate=mutate
+                )
+            except Exception:
+                continue  # candidate is invalid (e.g. rejected economy)
+            if target.issubset(set(failing_invariants(reports))):
+                case = candidate
+                steps += 1
+                improved = True
+                break
+    return case, steps
+
+
+def _artifact_doc(
+    *,
+    case: FuzzCase,
+    original: FuzzCase,
+    reports: Dict[str, InvariantReport],
+    campaign_seed: int,
+    case_index: int,
+    shrink_steps: int,
+    mutate: Optional[str],
+    train: bool,
+) -> dict:
+    failing = failing_invariants(reports)
+    return {
+        "format": ARTIFACT_FORMAT,
+        "case": case.to_doc(),
+        "original_case": original.to_doc(),
+        "invariants": failing,
+        "violations": [
+            violation.to_doc()
+            for name in failing
+            for violation in reports[name].violations
+        ],
+        "campaign_seed": campaign_seed,
+        "case_index": case_index,
+        "shrink_steps": shrink_steps,
+        "mutate": mutate,
+        "train": train,
+    }
+
+
+def run_campaign(
+    *,
+    cases: int,
+    seed: int,
+    invariants: Optional[Sequence[str]] = None,
+    train_every: int = 10,
+    artifact_dir: Optional[Path] = None,
+    mutate: Optional[str] = None,
+    max_failures: int = 5,
+) -> dict:
+    """Run a seeded campaign; returns a JSON-ready summary document.
+
+    ``train_every`` runs the expensive training-family invariants on
+    every k-th case (0 disables them). The campaign stops early once
+    ``max_failures`` distinct cases have failed — each one costs a
+    shrink search, and a systemic bug would otherwise fail every case.
+    """
+    names = _resolve_invariants(invariants)
+    checked: Dict[str, int] = {name: 0 for name in names}
+    violated: Dict[str, int] = {name: 0 for name in names}
+    failures: List[dict] = []
+    case_digests: List[dict] = []
+    for index in range(int(cases)):
+        rng = spawn_rng(seed, "fuzz", str(index))
+        case = draw_case(rng, index)
+        train = bool(train_every) and index % int(train_every) == 0
+        reports = check_case(case, names, train=train, mutate=mutate)
+        for name, report in reports.items():
+            if report.checked:
+                checked[name] += 1
+                if report.violations:
+                    violated[name] += 1
+        failing = failing_invariants(reports)
+        case_digests.append(
+            {"fingerprint": case.fingerprint(), "failing": failing}
+        )
+        if failing:
+            shrunk, steps = shrink_case(
+                case, failing, train=train, mutate=mutate
+            )
+            shrunk_reports = check_case(
+                shrunk, failing, train=train, mutate=mutate
+            )
+            doc = _artifact_doc(
+                case=shrunk,
+                original=case,
+                reports=shrunk_reports,
+                campaign_seed=seed,
+                case_index=index,
+                shrink_steps=steps,
+                mutate=mutate,
+                train=train,
+            )
+            record = {
+                "case_index": index,
+                "invariants": failing,
+                "shrink_steps": steps,
+            }
+            if artifact_dir is not None:
+                artifact_dir = Path(artifact_dir)
+                artifact_dir.mkdir(parents=True, exist_ok=True)
+                path = artifact_dir / (
+                    f"fuzz-seed{seed}-case{index}.json"
+                )
+                save_json(doc, path)
+                record["artifact"] = str(path)
+            else:
+                record["artifact_doc"] = doc
+            failures.append(record)
+            if len(failures) >= int(max_failures):
+                break
+    examined = len(case_digests)
+    return {
+        "format": "fuzz-campaign/v1",
+        "seed": seed,
+        "cases": int(cases),
+        "examined": examined,
+        "invariants": names,
+        "checks": checked,
+        "violations": violated,
+        "failures": failures,
+        "stopped_early": examined < int(cases),
+        "digest": content_address(case_digests),
+    }
+
+
+def replay_artifact(path: Path) -> dict:
+    """Re-check a saved artifact's case; returns a replay summary.
+
+    Honors the artifact's recorded ``mutate``/``train`` flags so a
+    mutation-smoke artifact reproduces without the original CLI flags.
+    """
+    doc = load_json(Path(path))
+    if doc.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"not a {ARTIFACT_FORMAT} document: {doc.get('format')!r}"
+        )
+    case = FuzzCase.from_doc(doc["case"])
+    expected = list(doc["invariants"])
+    reports = check_case(
+        case,
+        expected,
+        train=bool(doc.get("train", False)),
+        mutate=doc.get("mutate"),
+    )
+    failing = failing_invariants(reports)
+    return {
+        "format": "fuzz-replay/v1",
+        "artifact": str(path),
+        "case_fingerprint": case.fingerprint(),
+        "expected": expected,
+        "failing": failing,
+        "reproduced": set(expected) <= set(failing),
+        "violations": [
+            violation.to_doc()
+            for name in failing
+            for violation in reports[name].violations
+        ],
+    }

@@ -1,0 +1,732 @@
+"""The machine-checked invariant catalog.
+
+Every paper claim the repo reproduces is stated here as an executable
+predicate over one fuzz case (an economy x participation process x
+mechanism). An invariant takes an :class:`InvariantContext` and returns
+
+* ``None`` — not applicable to this case (wrong mechanism family, or a
+  training-family check on a game-only pass), or
+* a list of :class:`Violation` — empty means *checked and clean*.
+
+The registry :data:`INVARIANTS` is what the ``fuzz`` CLI verb iterates;
+``docs/ARCHITECTURE.md`` renders the same catalog as a table (invariant
+-> paper claim -> module checked).
+
+Families:
+
+* ``game`` — solved-price properties: q bounds, budget feasibility,
+  individual rationality, the best-response fixed point, Theorem-2
+  constancy, Proposition-1 budget monotonicity.
+* ``estimator`` — Lemma-1 unbiasedness under the case's *participation
+  process* (exact enumeration over a sub-economy) plus bias-mass
+  accounting.
+* ``codec`` — spec/JSON round-trips and fingerprint stability.
+* ``training`` — cross-implementation bit-identity (loop vs vectorized
+  vs chunked backends, eager vs streaming storage, checkpoint-resume vs
+  uninterrupted) on a tiny federation derived from the case. Expensive,
+  so the campaign runs them on a stride of cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.fl.aggregation import UnbiasedDeltaAggregator
+from repro.fl.checkpoint import CheckpointConfig
+from repro.fl.participation import ParticipationSpec
+from repro.fl.trainer import FederatedTrainer
+from repro.game.best_response import best_response_vector, surrogate_utility
+from repro.game.mechanisms import build_mechanism, estimator_bias_mass
+from repro.game.pricing import PricingOutcome
+from repro.game.properties import theorem2_invariant
+from repro.game.server_problem import ServerProblem, solve_stage1_kkt
+from repro.models import MultinomialLogisticRegression
+from repro.scenarios.spec import ScenarioSpec
+from repro.testing.strategies import streaming_federation
+from repro.utils.rng import RngFactory, spawn_rng
+
+#: Mechanisms whose posted prices the clients best-respond to; for these
+#: the solved q must be the best-response fixed point and individually
+#: rational. ``fixed-subset`` *excludes* clients by fiat (their q is not
+#: a best response) and ``random`` posts no prices at all.
+PRICE_MECHANISMS = ("proposed", "uniform", "weighted", "full")
+
+#: Mechanisms bound by the budget. ``full`` ignores it by design (the
+#: unbudgeted upper anchor of the comparison table).
+BUDGETED_MECHANISMS = ("proposed", "uniform", "weighted", "random")
+
+#: Relative budget overshoot tolerated: the benchmark schemes set their
+#: price level by bisection, whose final bracket midpoint can overshoot
+#: by the bracket width times the spending slope.
+BUDGET_SLACK = 1e-5
+
+#: Largest sub-economy enumerated exhaustively for Lemma 1 (2^k masks).
+UNBIASEDNESS_CLIENTS = 6
+
+#: Tiny-federation shape of the training-family checks:
+#: (samples per client, rounds, local steps, batch size).
+TRAIN_SHAPE = (30, 4, 2, 8)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One structured invariant failure."""
+
+    invariant: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "details": self.details,
+        }
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of one invariant on one case."""
+
+    name: str
+    checked: bool
+    violations: List[Violation]
+
+    @property
+    def passed(self) -> bool:
+        return self.checked and not self.violations
+
+    @property
+    def failed(self) -> bool:
+        """Checked and found violations (not-applicable is neither)."""
+        return self.checked and bool(self.violations)
+
+
+class InvariantContext:
+    """Everything an invariant may inspect about one fuzz case.
+
+    The mechanism outcome and the training-family histories are computed
+    lazily and cached, so a catalog pass solves each case once no matter
+    how many invariants look at it.
+    """
+
+    def __init__(
+        self,
+        problem: ServerProblem,
+        participation: ParticipationSpec,
+        mechanism: str,
+        *,
+        seed: int = 0,
+        scenario: Optional[ScenarioSpec] = None,
+        train: bool = False,
+    ):
+        self.problem = problem
+        self.participation = participation
+        self.mechanism = mechanism
+        self.seed = int(seed)
+        self.scenario = scenario
+        self.train = bool(train)
+        self._outcome: Optional[PricingOutcome] = None
+        self._train_setup = None
+
+    @property
+    def outcome(self) -> PricingOutcome:
+        """The mechanism's solved prices/participation (cached)."""
+        if self._outcome is None:
+            self._outcome = build_mechanism(self.mechanism).apply(
+                self.problem
+            )
+        return self._outcome
+
+    # Training-family support ------------------------------------------------
+
+    def _training_inputs(self):
+        """Tiny streaming federation + willingness derived from the case."""
+        if self._train_setup is None:
+            n = min(self.problem.num_clients, 5)
+            per_client, _, _, _ = TRAIN_SHAPE
+            federated = streaming_federation(
+                4,
+                None,
+                num_clients=n,
+                total_samples=per_client * n,
+                seed=self.seed,
+            )
+            q = np.clip(self.outcome.q[:n], 0.0, 1.0)
+            if q.max() < 0.05:
+                # An all-excluded profile trains nothing; give the
+                # bit-identity checks participants to disagree about.
+                q = np.full(n, 0.5)
+            self._train_setup = (federated, q)
+        return self._train_setup
+
+    def run_training(
+        self,
+        *,
+        backend: str = "vectorized",
+        chunk_size: Optional[int] = None,
+        eager: bool = False,
+        checkpoint: Optional[CheckpointConfig] = None,
+        interrupt_at: Optional[int] = None,
+    ):
+        """One deterministic tiny training run; returns its history.
+
+        Every variant reuses the same seed-derived RNG streams, so any
+        two calls differing only in ``backend``/``chunk_size``/``eager``
+        or in checkpoint interruption must produce bit-identical
+        histories.
+        """
+        _, rounds, local_steps, batch_size = TRAIN_SHAPE
+        federated, q = self._training_inputs()
+        if eager:
+            federated = federated.materialize()
+        factory = RngFactory(self.seed)
+        model = MultinomialLogisticRegression(
+            num_features=federated.num_features,
+            num_classes=federated.num_classes,
+            l2=1e-2,
+        )
+        trainer = FederatedTrainer(
+            model,
+            federated,
+            self.participation.build(
+                q, rng=factory.make("fuzz-participation")
+            ),
+            local_steps=local_steps,
+            batch_size=batch_size,
+            eval_every=2,
+            rng_factory=factory,
+            backend=backend,
+            chunk_size=chunk_size,
+        )
+        if interrupt_at is not None:
+            base = trainer.round_timer
+
+            def timer(mask, round_index):
+                if round_index == interrupt_at:
+                    raise _Interrupted()
+                return base(mask, round_index)
+
+            trainer.round_timer = timer
+        return trainer.run(rounds, checkpoint=checkpoint)
+
+
+class _Interrupted(BaseException):
+    """Simulated mid-run kill for the resume invariant."""
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A registered, named invariant."""
+
+    name: str
+    claim: str
+    module: str
+    family: str
+    check: Callable[[InvariantContext], Optional[List[Violation]]]
+
+    def run(self, context: InvariantContext) -> InvariantReport:
+        result = self.check(context)
+        if result is None:
+            return InvariantReport(self.name, checked=False, violations=[])
+        return InvariantReport(self.name, checked=True, violations=result)
+
+
+#: The catalog, keyed by invariant name (insertion order = display order).
+INVARIANTS: Dict[str, Invariant] = {}
+
+
+def register_invariant(
+    name: str, *, claim: str, module: str, family: str
+) -> Callable:
+    """Register ``fn`` as the named invariant's check."""
+
+    def decorate(fn: Callable) -> Callable:
+        if name in INVARIANTS:
+            raise ValueError(f"invariant {name!r} already registered")
+        INVARIANTS[name] = Invariant(
+            name=name, claim=claim, module=module, family=family, check=fn
+        )
+        return fn
+
+    return decorate
+
+
+def _violation(name: str, message: str, **details) -> Violation:
+    return Violation(name, message, {k: v for k, v in details.items()})
+
+
+# Game family -----------------------------------------------------------------
+
+
+@register_invariant(
+    "q-bounds",
+    claim="Participation profiles lie in [0, q_max] (Problem P1', 14c)",
+    module="repro.game.mechanisms",
+    family="game",
+)
+def check_q_bounds(ctx: InvariantContext) -> List[Violation]:
+    outcome = ctx.outcome
+    q = outcome.q
+    q_max = ctx.problem.population.q_max
+    violations = []
+    if not np.all(np.isfinite(q)) or not np.all(np.isfinite(outcome.prices)):
+        violations.append(
+            _violation(
+                "q-bounds",
+                "non-finite participation or prices",
+                q=q.tolist(),
+                prices=outcome.prices.tolist(),
+            )
+        )
+        return violations
+    bad = (q < -1e-12) | (q > q_max + 1e-9)
+    if bad.any():
+        violations.append(
+            _violation(
+                "q-bounds",
+                "participation outside [0, q_max]",
+                clients=np.flatnonzero(bad).tolist(),
+                q=q[bad].tolist(),
+                q_max=q_max[bad].tolist(),
+            )
+        )
+    return violations
+
+
+@register_invariant(
+    "budget-feasibility",
+    claim="Solved prices spend at most the budget B (Eq. 14b / Lemma 3)",
+    module="repro.game.server_problem / repro.game.pricing",
+    family="game",
+)
+def check_budget_feasibility(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if ctx.mechanism not in BUDGETED_MECHANISMS + ("fixed-subset",):
+        return None
+    outcome = ctx.outcome
+    budget = ctx.problem.budget
+    if ctx.mechanism == "fixed-subset":
+        included = int(np.sum(outcome.q > 0))
+        if included == 1:
+            # Documented K >= 1 floor: a budget too small for any client
+            # still buys the single cheapest one (may overshoot B).
+            return []
+        # Only *outgoing* payments count against the subset budget;
+        # negative payments are clients paying for inclusion.
+        spending = float(
+            np.sum(np.maximum(outcome.prices * outcome.q, 0.0))
+        )
+    else:
+        spending = outcome.spending
+    limit = budget + BUDGET_SLACK * max(1.0, abs(budget))
+    if spending > limit:
+        return [
+            _violation(
+                "budget-feasibility",
+                "spending exceeds the budget",
+                spending=spending,
+                budget=budget,
+                overshoot=spending - budget,
+            )
+        ]
+    return []
+
+
+@register_invariant(
+    "individual-rationality",
+    claim="Best responses dominate every alternative q, and zero-stake "
+    "clients never lose (Stage II, Eq. 12-13)",
+    module="repro.game.best_response",
+    family="game",
+)
+def check_individual_rationality(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if ctx.mechanism not in PRICE_MECHANISMS:
+        return None
+    problem = ctx.problem
+    population = problem.population
+    outcome = ctx.outcome
+    q = outcome.q
+    own = surrogate_utility(
+        q, outcome.prices, population, problem.contributions
+    )
+    violations = []
+    # Zero-stake clients (vA = 0) can always decline (q = 0, utility 0).
+    no_stake = population.values * problem.contributions == 0
+    losing = no_stake & (own < -1e-9)
+    if losing.any():
+        violations.append(
+            _violation(
+                "individual-rationality",
+                "zero-stake clients strictly lose by participating",
+                clients=np.flatnonzero(losing).tolist(),
+                utilities=own[losing].tolist(),
+            )
+        )
+    # Grid optimality: no alternative level beats the solved q.
+    scale = np.maximum(1.0, np.abs(own))
+    for fraction in np.linspace(0.05, 1.0, 20):
+        alt = fraction * population.q_max
+        alt_utility = surrogate_utility(
+            alt, outcome.prices, population, problem.contributions
+        )
+        worse = alt_utility > own + 1e-7 * scale
+        if worse.any():
+            violations.append(
+                _violation(
+                    "individual-rationality",
+                    "a grid alternative beats the solved response",
+                    clients=np.flatnonzero(worse).tolist(),
+                    fraction=float(fraction),
+                    gain=(alt_utility - own)[worse].tolist(),
+                )
+            )
+            break
+    return violations
+
+
+@register_invariant(
+    "equilibrium-fixed-point",
+    claim="Posted prices induce exactly the solved q (SE of the CPL "
+    "game, Sec. V)",
+    module="repro.game.equilibrium / repro.game.best_response",
+    family="game",
+)
+def check_fixed_point(ctx: InvariantContext) -> Optional[List[Violation]]:
+    if ctx.mechanism not in PRICE_MECHANISMS:
+        return None
+    problem = ctx.problem
+    induced = best_response_vector(
+        ctx.outcome.prices, problem.population, problem.contributions
+    )
+    # evaluate_posted_prices floors q at 1e-9; mirror it before comparing.
+    induced = np.maximum(induced, 1e-9)
+    residual = np.abs(induced - ctx.outcome.q)
+    if residual.max() > 1e-5:
+        worst = int(np.argmax(residual))
+        return [
+            _violation(
+                "equilibrium-fixed-point",
+                "best response to the posted prices deviates from q",
+                client=worst,
+                residual=float(residual.max()),
+                q=float(ctx.outcome.q[worst]),
+                induced=float(induced[worst]),
+            )
+        ]
+    return []
+
+
+@register_invariant(
+    "theorem2-constancy",
+    claim="4 c_n q_n^3 / A_n + v_n is constant (= 1/lambda*) over "
+    "interior clients (Theorem 2)",
+    module="repro.game.properties",
+    family="game",
+)
+def check_theorem2(ctx: InvariantContext) -> Optional[List[Violation]]:
+    if ctx.mechanism != "proposed":
+        return None
+    values, interior = theorem2_invariant(ctx.problem, ctx.outcome.q)
+    inner = values[interior]
+    if inner.size < 2:
+        return []
+    spread = float(np.ptp(inner))
+    if spread > 1e-4 * max(1.0, abs(float(inner[0]))):
+        return [
+            _violation(
+                "theorem2-constancy",
+                "the Theorem-2 invariant varies across interior clients",
+                spread=spread,
+                values=inner.tolist(),
+            )
+        ]
+    return []
+
+
+@register_invariant(
+    "budget-monotonicity",
+    claim="Server utility improves (gap shrinks) as the budget grows "
+    "(Proposition 1)",
+    module="repro.game.server_problem",
+    family="game",
+)
+def check_budget_monotonicity(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if ctx.mechanism != "proposed":
+        return None
+    problem = ctx.problem
+    lean_gap = ctx.outcome.objective_gap
+    richer = ServerProblem(
+        population=problem.population,
+        alpha=problem.alpha,
+        num_rounds=problem.num_rounds,
+        budget=problem.budget * 1.3 + 1.0,
+        beta=problem.beta,
+        f_star=problem.f_star,
+        local_gaps=problem.local_gaps,
+    )
+    rich_gap = solve_stage1_kkt(richer).objective_gap
+    if rich_gap > lean_gap + 1e-9 * max(1.0, abs(lean_gap)):
+        return [
+            _violation(
+                "budget-monotonicity",
+                "a larger budget produced a worse objective gap",
+                budget=problem.budget,
+                richer_budget=richer.budget,
+                gap=lean_gap,
+                richer_gap=rich_gap,
+            )
+        ]
+    return []
+
+
+# Estimator family ------------------------------------------------------------
+
+
+@register_invariant(
+    "estimator-unbiasedness",
+    claim="Lemma-1 aggregation is unbiased under the process's inclusion "
+    "probabilities; excluded weight mass is exactly the bias",
+    module="repro.fl.aggregation / repro.fl.participation",
+    family="estimator",
+)
+def check_unbiasedness(ctx: InvariantContext) -> List[Violation]:
+    problem = ctx.problem
+    population = problem.population
+    q = ctx.outcome.q
+    spec = ctx.participation
+    violations = []
+
+    # The spec's closed-form inclusion must match the built model's.
+    inclusion = spec.effective_inclusion(q)
+    model = spec.build(q, rng=spawn_rng(ctx.seed, "fuzz", "inclusion"))
+    if not np.array_equal(model.inclusion_probabilities, inclusion):
+        violations.append(
+            _violation(
+                "estimator-unbiasedness",
+                "spec.effective_inclusion disagrees with the built model",
+                spec=spec.to_doc(),
+                effective=inclusion.tolist(),
+                model=model.inclusion_probabilities.tolist(),
+            )
+        )
+
+    # Bias mass: zero iff every client is included.
+    mass = estimator_bias_mass(population, q)
+    expected_mass = float(population.weights[q <= 0.0].sum())
+    if abs(mass - expected_mass) > 1e-12:
+        violations.append(
+            _violation(
+                "estimator-unbiasedness",
+                "bias mass disagrees with the excluded weight mass",
+                mass=mass,
+                expected=expected_mass,
+            )
+        )
+    if ctx.mechanism != "fixed-subset" and mass != 0.0:
+        violations.append(
+            _violation(
+                "estimator-unbiasedness",
+                "an unbiased mechanism excluded weight mass",
+                mechanism=ctx.mechanism,
+                mass=mass,
+            )
+        )
+
+    # Exhaustive Lemma-1 expectation on a sub-economy. Participation is
+    # enumerated from the *marginal* inclusion probabilities — exact for
+    # every registered process, because the Lemma-1 expectation is linear
+    # in the per-client participation indicators (correlation cancels).
+    k = min(population.num_clients, UNBIASEDNESS_CLIENTS)
+    rng = spawn_rng(ctx.seed, "fuzz", "unbiasedness")
+    dim = 3
+    global_params = rng.normal(size=dim)
+    local_params = {
+        i: global_params + rng.normal(size=dim) for i in range(k)
+    }
+    weights = population.weights[:k]
+    pi = inclusion[:k]
+    aggregator = UnbiasedDeltaAggregator()
+    expectation = np.zeros(dim)
+    active = [i for i in range(k) if pi[i] > 0]
+    for mask in itertools.product([0, 1], repeat=len(active)):
+        probability = 1.0
+        participants = {}
+        for bit, i in zip(mask, active):
+            probability *= pi[i] if bit else 1.0 - pi[i]
+            if bit:
+                participants[i] = local_params[i]
+        expectation += probability * aggregator.aggregate(
+            global_params,
+            participants,
+            weights=weights,
+            inclusion_probabilities=pi,
+        )
+    reference = global_params + sum(
+        weights[i] * (local_params[i] - global_params) for i in active
+    )
+    if not np.allclose(expectation, reference, atol=1e-9):
+        violations.append(
+            _violation(
+                "estimator-unbiasedness",
+                "exhaustive expectation deviates from the included-"
+                "client FedAvg update",
+                max_error=float(np.abs(expectation - reference).max()),
+                sub_economy=k,
+            )
+        )
+    return violations
+
+
+# Codec family ----------------------------------------------------------------
+
+
+@register_invariant(
+    "spec-roundtrip",
+    claim="Scenario and participation specs survive the JSON codec with "
+    "stable fingerprints",
+    module="repro.scenarios.spec / repro.fl.participation",
+    family="codec",
+)
+def check_spec_roundtrip(ctx: InvariantContext) -> List[Violation]:
+    violations = []
+    spec = ctx.participation
+    recovered = ParticipationSpec.from_doc(spec.to_doc())
+    if recovered != spec:
+        violations.append(
+            _violation(
+                "spec-roundtrip",
+                "ParticipationSpec does not round-trip",
+                doc=spec.to_doc(),
+            )
+        )
+    if ctx.scenario is not None:
+        scenario = ctx.scenario
+        rebuilt = ScenarioSpec.from_doc(scenario.to_doc())
+        if rebuilt != scenario:
+            violations.append(
+                _violation(
+                    "spec-roundtrip",
+                    "ScenarioSpec does not round-trip",
+                    doc=scenario.to_doc(),
+                )
+            )
+        elif rebuilt.fingerprint() != scenario.fingerprint():
+            violations.append(
+                _violation(
+                    "spec-roundtrip",
+                    "fingerprint unstable across a round-trip",
+                    doc=scenario.to_doc(),
+                )
+            )
+    return violations
+
+
+# Training family -------------------------------------------------------------
+
+
+@register_invariant(
+    "backend-bit-identity",
+    claim="Loop, vectorized, and chunked engines produce bit-identical "
+    "histories (PR-3/PR-5 determinism contract)",
+    module="repro.fl.trainer",
+    family="training",
+)
+def check_backend_identity(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if not ctx.train:
+        return None
+    reference = ctx.run_training(backend="vectorized")
+    for backend, chunk in (("loop", None), ("vectorized", 2)):
+        other = ctx.run_training(backend=backend, chunk_size=chunk)
+        if other.records != reference.records:
+            return [
+                _violation(
+                    "backend-bit-identity",
+                    "engine variants diverge",
+                    backend=backend,
+                    chunk_size=chunk,
+                )
+            ]
+    return []
+
+
+@register_invariant(
+    "storage-bit-identity",
+    claim="Streaming shards train bit-identically to their materialized "
+    "eager twin (PR-5 contract)",
+    module="repro.datasets.streaming / repro.fl.trainer",
+    family="training",
+)
+def check_storage_identity(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if not ctx.train:
+        return None
+    streaming = ctx.run_training()
+    eager = ctx.run_training(eager=True)
+    if streaming.records != eager.records:
+        return [
+            _violation(
+                "storage-bit-identity",
+                "eager and streaming histories diverge",
+            )
+        ]
+    return []
+
+
+@register_invariant(
+    "resume-bit-identity",
+    claim="A killed-and-resumed run equals an uninterrupted one (PR-6 "
+    "checkpoint contract)",
+    module="repro.fl.checkpoint / repro.fl.trainer",
+    family="training",
+)
+def check_resume_identity(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if not ctx.train:
+        return None
+    _, rounds, _, _ = TRAIN_SHAPE
+    reference = ctx.run_training()
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ckpt-") as tmp:
+        config = CheckpointConfig(
+            directory=tmp, every=1, resume=True, keep=2
+        )
+        try:
+            ctx.run_training(checkpoint=config, interrupt_at=rounds - 1)
+        except _Interrupted:
+            pass
+        resumed = ctx.run_training(checkpoint=config)
+    if resumed.records != reference.records:
+        return [
+            _violation(
+                "resume-bit-identity",
+                "resumed history diverges from the uninterrupted run",
+            )
+        ]
+    return []
+
+
+def catalog_table() -> List[dict]:
+    """The docs table: one row per invariant (name, claim, module)."""
+    return [
+        {
+            "name": invariant.name,
+            "family": invariant.family,
+            "claim": invariant.claim,
+            "module": invariant.module,
+        }
+        for invariant in INVARIANTS.values()
+    ]

@@ -1,0 +1,182 @@
+"""The ``fuzz`` CLI verb: reproducibility, artifacts, replay, pipes.
+
+The committed artifact under ``tests/data/`` was produced by
+``fuzz run --seed 11 --mutate estimator-unbiasedness``; replaying it
+must reproduce its recorded violation (exit 1) because the artifact
+stores the mutation flag alongside the shrunk case.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.testing import replay_artifact, run_campaign
+
+COMMITTED_ARTIFACT = (
+    Path(__file__).parent / "data" / "fuzz-seed11-case0.json"
+)
+
+
+class TestCampaignReproducibility:
+    def test_same_seed_same_digest(self):
+        first = run_campaign(cases=25, seed=7, train_every=0)
+        second = run_campaign(cases=25, seed=7, train_every=0)
+        assert first == second
+        assert first["digest"] == second["digest"]
+
+    def test_different_seeds_differ(self):
+        first = run_campaign(cases=25, seed=7, train_every=0)
+        other = run_campaign(cases=25, seed=8, train_every=0)
+        assert first["digest"] != other["digest"]
+
+    def test_cli_run_is_bit_reproducible(self, capsys):
+        assert main(["fuzz", "run", "--cases", "15", "--seed", "7",
+                     "--train-every", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["fuzz", "run", "--cases", "15", "--seed", "7",
+                     "--train-every", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        summary = json.loads(first)
+        assert summary["examined"] == 15
+        # Every registered invariant was exercised by the campaign.
+        assert all(count > 0 for count in summary["checks"].values())
+
+
+class TestMutationSmoke:
+    def test_mutation_produces_shrunk_replayable_artifact(self, tmp_path):
+        summary = run_campaign(
+            cases=5,
+            seed=3,
+            train_every=0,
+            mutate="q-bounds",
+            artifact_dir=tmp_path,
+            max_failures=1,
+        )
+        assert summary["failures"]
+        failure = summary["failures"][0]
+        assert failure["invariants"] == ["q-bounds"]
+        artifact = Path(failure["artifact"])
+        assert artifact.exists()
+        doc = json.loads(artifact.read_text())
+        assert doc["format"] == "fuzz-artifact/v1"
+        # Shrinking simplified the drawn case.
+        assert len(doc["case"]["weights"]) <= len(
+            doc["original_case"]["weights"]
+        )
+        replay = replay_artifact(artifact)
+        assert replay["reproduced"]
+
+    def test_cli_mutation_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz", "run", "--cases", "2", "--seed", "3",
+                "--train-every", "0", "--mutate", "q-bounds",
+                "--max-failures", "1",
+                "--artifact-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert list(tmp_path.glob("*.json"))
+
+
+class TestReplay:
+    def test_committed_artifact_reproduces(self, capsys):
+        code = main(["fuzz", "replay", str(COMMITTED_ARTIFACT)])
+        assert code == 1  # the recorded violation still reproduces
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["reproduced"]
+        assert summary["failing"] == ["estimator-unbiasedness"]
+
+    def test_replay_requires_artifact(self, capsys):
+        assert main(["fuzz", "replay"]) == 2
+        assert "artifact" in capsys.readouterr().err
+
+    def test_replay_rejects_non_artifact(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        assert main(["fuzz", "replay", str(bogus)]) == 2
+        assert "fuzz-artifact/v1" in capsys.readouterr().err
+
+
+class TestValidation:
+    def test_unknown_invariant(self, capsys):
+        code = main(["fuzz", "run", "--invariants", "nope"])
+        assert code == 2
+        assert "unknown invariants" in capsys.readouterr().err
+
+    def test_unknown_mutate_target(self, capsys):
+        code = main(["fuzz", "run", "--mutate", "nope"])
+        assert code == 2
+        assert "--mutate" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["fuzz", "run", "--cases", "0"], "--cases"),
+            (["fuzz", "run", "--train-every", "-1"], "--train-every"),
+            (["fuzz", "run", "--max-failures", "0"], "--max-failures"),
+        ],
+    )
+    def test_bad_numeric_flags(self, argv, fragment, capsys):
+        assert main(argv) == 2
+        assert fragment in capsys.readouterr().err
+
+    def test_run_rejects_positional_artifact(self, capsys):
+        code = main(["fuzz", "run", "whatever.json"])
+        assert code == 2
+        assert "replay" in capsys.readouterr().err
+
+    def test_invariant_subset_runs_only_those(self, capsys):
+        code = main(
+            [
+                "fuzz", "run", "--cases", "5", "--seed", "1",
+                "--train-every", "0",
+                "--invariants", "q-bounds,spec-roundtrip",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["invariants"] == ["q-bounds", "spec-roundtrip"]
+
+    def test_list_renders_catalog(self, capsys):
+        assert main(["fuzz", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "estimator-unbiasedness" in out
+        assert "resume-bit-identity" in out
+
+
+class TestBrokenPipeHandling:
+    """The PR-5 quiet-exit contract extends to the fuzz verb."""
+
+    @staticmethod
+    def _run_with_closed_stdout(*argv):
+        env = dict(os.environ, REPRO_SCALE="ci")
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.experiments", *argv],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        proc.stdout.close()
+        stderr = proc.stderr.read().decode()
+        proc.stderr.close()
+        code = proc.wait()
+        return code, stderr
+
+    def test_fuzz_run_piped_into_head_exits_quietly(self):
+        code, stderr = self._run_with_closed_stdout(
+            "fuzz", "run", "--cases", "5", "--seed", "7",
+            "--train-every", "0",
+        )
+        assert "Traceback" not in stderr
+        assert "BrokenPipeError" not in stderr
+        assert code in (0, 1)

@@ -1,4 +1,8 @@
-"""Property-based tests for aggregation, datasets, and the timing model."""
+"""Property-based tests for aggregation, datasets, and the timing model.
+
+Weight draws and the nested-JSON strategy come from
+:mod:`repro.testing.strategies`, shared with the fuzz campaign.
+"""
 
 import numpy as np
 import pytest
@@ -8,6 +12,7 @@ from hypothesis import strategies as st
 from repro.datasets import power_law_sizes
 from repro.fl import UnbiasedDeltaAggregator
 from repro.simulation import SharedMediumNetwork, simulate_shared_uploads
+from repro.testing.strategies import draw_weights, nested_json
 from repro.theory import heterogeneity_term
 from repro.utils.serialization import to_jsonable
 
@@ -28,8 +33,7 @@ class TestAggregationProperties:
         local_params = {
             i: global_params + rng.normal(size=dim) for i in range(n)
         }
-        sizes = rng.uniform(1, 10, size=n)
-        weights = sizes / sizes.sum()
+        weights = draw_weights(rng, n)
         q = rng.uniform(0.05, 1.0, size=n)
         aggregator = UnbiasedDeltaAggregator()
         expectation = np.zeros(dim)
@@ -56,8 +60,7 @@ class TestAggregationProperties:
     )
     def test_heterogeneity_term_nonnegative_and_zero_at_one(self, seed, n):
         rng = np.random.default_rng(seed)
-        sizes = rng.uniform(1, 10, size=n)
-        weights = sizes / sizes.sum()
+        weights = draw_weights(rng, n)
         bounds = rng.uniform(0.1, 5.0, size=n)
         q = rng.uniform(0.01, 1.0, size=n)
         value = heterogeneity_term(weights, bounds, q)
@@ -75,8 +78,7 @@ class TestAggregationProperties:
     def test_heterogeneity_decreases_coordinatewise(self, seed, n, index):
         rng = np.random.default_rng(seed)
         index = index % n
-        sizes = rng.uniform(1, 10, size=n)
-        weights = sizes / sizes.sum()
+        weights = draw_weights(rng, n)
         bounds = rng.uniform(0.1, 5.0, size=n)
         q = rng.uniform(0.05, 0.9, size=n)
         bumped = q.copy()
@@ -152,30 +154,15 @@ class TestNetworkProperties:
 
 
 class TestSerializationProperties:
-    nested = st.recursive(
-        st.one_of(
-            st.none(),
-            st.booleans(),
-            st.integers(min_value=-(2**31), max_value=2**31),
-            st.floats(allow_nan=False, allow_infinity=False),
-            st.text(max_size=10),
-        ),
-        lambda children: st.one_of(
-            st.lists(children, max_size=4),
-            st.dictionaries(st.text(max_size=5), children, max_size=4),
-        ),
-        max_leaves=15,
-    )
-
     @settings(max_examples=50, deadline=None)
-    @given(payload=nested)
+    @given(payload=nested_json)
     def test_to_jsonable_is_idempotent(self, payload):
         once = to_jsonable(payload)
         twice = to_jsonable(once)
         assert once == twice
 
     @settings(max_examples=50, deadline=None)
-    @given(payload=nested)
+    @given(payload=nested_json)
     def test_jsonable_round_trips_through_json(self, payload):
         import json
 

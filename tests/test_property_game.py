@@ -1,4 +1,8 @@
-"""Property-based tests (hypothesis) for the game layer's invariants."""
+"""Property-based tests (hypothesis) for the game layer's invariants.
+
+The scalar strategies and the random-economy generator live in
+:mod:`repro.testing.strategies`, shared with the fuzz campaign.
+"""
 
 import numpy as np
 import pytest
@@ -7,7 +11,6 @@ from hypothesis import strategies as st
 
 from repro.game import (
     ClientPopulation,
-    ServerProblem,
     best_response,
     best_response_vector,
     inverse_price,
@@ -15,13 +18,13 @@ from repro.game import (
     solve_stage1_kkt,
     theorem2_invariant,
 )
-
-finite_price = st.floats(
-    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+from repro.testing.strategies import (
+    finite_prices as finite_price,
+    nonneg_values as nonneg_va,
+    positive_costs as positive_cost,
+    q_caps as q_cap,
+    random_problem as _random_problem,
 )
-positive_cost = st.floats(min_value=0.1, max_value=100.0)
-nonneg_va = st.floats(min_value=0.0, max_value=50.0)
-q_cap = st.floats(min_value=0.05, max_value=1.0)
 
 
 class TestBestResponseProperties:
@@ -83,25 +86,6 @@ class TestBestResponseProperties:
         )
         recovered = inverse_price([q], population, np.array([1.0]))[0]
         assert recovered == pytest.approx(price, rel=1e-4, abs=1e-6)
-
-
-def _random_problem(draw_seed: int, budget: float) -> ServerProblem:
-    rng = np.random.default_rng(draw_seed)
-    n = int(rng.integers(3, 10))
-    sizes = rng.uniform(1.0, 50.0, size=n)
-    population = ClientPopulation(
-        weights=sizes / sizes.sum(),
-        gradient_bounds=rng.uniform(0.5, 5.0, size=n),
-        costs=rng.uniform(1.0, 80.0, size=n),
-        values=rng.exponential(15.0, size=n),
-        q_max=np.ones(n),
-    )
-    return ServerProblem(
-        population=population,
-        alpha=float(rng.uniform(100, 5_000)),
-        num_rounds=int(rng.integers(50, 500)),
-        budget=budget,
-    )
 
 
 class TestStageIProperties:

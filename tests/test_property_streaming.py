@@ -14,26 +14,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datasets.streaming import (
-    SyntheticShardProvider,
-    streaming_synthetic_federated,
-)
+from repro.datasets.streaming import SyntheticShardProvider
+from repro.testing.strategies import streaming_federation as _build
 
 NUM_CLIENTS = 8
 TOTAL_SAMPLES = 400
-
-
-def _build(cache_shards, max_size):
-    return streaming_synthetic_federated(
-        NUM_CLIENTS,
-        total_samples=TOTAL_SAMPLES,
-        dim=6,
-        num_classes=3,
-        test_clients=3,
-        cache_shards=cache_shards,
-        seed=3,
-        max_size=max_size,
-    )
 
 
 @settings(max_examples=25, deadline=None)
