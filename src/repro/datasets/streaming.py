@@ -81,6 +81,11 @@ class SyntheticShardProvider:
             client ever contributes to a test set).
         cache_shards: LRU capacity in shards. ``0`` disables caching
             (every access regenerates).
+        dtype: Feature dtype served by the provider. The generative
+            recipe always draws in float64 (so the *values* are a pure
+            function of the seed regardless of precision); ``"float32"``
+            casts the finished feature arrays once on materialization —
+            the fast tier's storage format. Labels stay integer.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class SyntheticShardProvider:
         num_classes: int = 10,
         test_fraction: float = 0.2,
         cache_shards: int = DEFAULT_CACHE_SHARDS,
+        dtype: str = "float64",
     ):
         check_nonnegative(alpha, "alpha")
         check_nonnegative(beta, "beta")
@@ -121,6 +127,11 @@ class SyntheticShardProvider:
         self.num_classes = int(num_classes)
         self.test_fraction = float(test_fraction)
         self.cache_shards = int(cache_shards)
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {self.dtype.name!r}"
+            )
         self.test_sizes = np.maximum(
             1, np.round(sizes * test_fraction).astype(int)
         ) if test_fraction > 0 else np.zeros_like(sizes)
@@ -160,6 +171,8 @@ class SyntheticShardProvider:
             self.num_classes,
             generator,
         )
+        if features.dtype != self.dtype:
+            features = features.astype(self.dtype)
         self.regenerations += 1
         if self.cache_shards > 0:
             self._cache[client_id] = (features, labels)
@@ -456,6 +469,7 @@ def streaming_synthetic_federated(
     seed: int = 0,
     min_size: Optional[int] = None,
     max_size: Optional[int] = None,
+    dtype: str = "float64",
 ) -> StreamingFederatedDataset:
     """Build a memory-bounded Synthetic(alpha, beta) federation.
 
@@ -496,6 +510,9 @@ def streaming_synthetic_federated(
             bounds every shard, with the clipped excess redistributed
             deterministically across under-cap clients (no extra RNG —
             sizes stay a pure function of the seed).
+        dtype: Feature precision served by the provider (``"float32"``
+            for the fast tier). Values are drawn in float64 and cast, so
+            the federation's content is seed-determined either way.
 
     Returns:
         A :class:`StreamingFederatedDataset`.
@@ -529,6 +546,7 @@ def streaming_synthetic_federated(
         num_classes=num_classes,
         test_fraction=test_fraction,
         cache_shards=cache_shards,
+        dtype=dtype,
     )
     chooser = spawn_rng(seed, "streaming", "test-clients")
     count = min(int(test_clients), num_clients)

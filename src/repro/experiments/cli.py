@@ -141,6 +141,19 @@ def _add_common_options(
         "for streaming megafleet scenarios)",
     )
     parser.add_argument(
+        "--precision", choices=("float64", "float32"),
+        default=default("float64"),
+        help="kernel dtype for training runs (float32 is the fast tier's "
+        "precision; results are statistically equivalent, not bit-exact)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        default=default(False),
+        help="fast tier: profile-selected fused-round kernels, pre-drawn "
+        "participation, and sub-sampled evaluation (statistically "
+        "equivalent to the exact path; combine with --precision float32)",
+    )
+    parser.add_argument(
         "--checkpoint-dir", type=Path, default=default(None), metavar="DIR",
         help="checkpoint training runs into per-job subdirectories of DIR "
         "(bit-identical results; enables kill-and-resume)",
@@ -316,6 +329,8 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         and args.cache_dir is None
         and args.backend == "vectorized"
         and args.chunk_size is None
+        and args.precision == "float64"
+        and not args.fast
         and args.checkpoint_dir is None
         and args.job_timeout is None
         and args.max_retries == 2
@@ -326,6 +341,8 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         cache_dir=args.cache_dir,
         backend=args.backend,
         chunk_size=args.chunk_size,
+        precision=args.precision,
+        fast=args.fast,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
     )
@@ -469,7 +486,7 @@ def _cmd_scenarios(args) -> int:
     """
     import json
 
-    from repro.game import MECHANISMS, build_mechanism
+    from repro.game import MECHANISMS, build_mechanism, default_mechanisms
     from repro.scenarios import (
         ScenarioRunner,
         export_cells,
@@ -533,6 +550,10 @@ def _cmd_scenarios(args) -> int:
                 for name in args.mechanisms.split(",")
                 if name.strip()
             ]
+        elif args.fast:
+            # --fast selects the approximate mechanism suite too, so a
+            # fast scenario run is fast end to end (game and training).
+            mechanisms = default_mechanisms(fast=True)
         else:
             mechanisms = None
     except (KeyError, ValueError) as error:
@@ -744,7 +765,10 @@ def _cmd_bench_trainer(args) -> int:
     from repro.game import OptimalPricing
 
     prepared = _prepared(args)
+    solve_start = time.perf_counter()
     q = OptimalPricing().apply(prepared.problem).q
+    solve_s = time.perf_counter() - solve_start
+    exact_mode = args.precision == "float64" and not args.fast
 
     # Shared hosts throttle under sustained load, which would bias
     # whichever backend happens to run second. Alternate the order across
@@ -753,17 +777,26 @@ def _cmd_bench_trainer(args) -> int:
     # same deterministic computation.
     repeats = args.repeats or 2
     times = {"loop": [], "vectorized": []}
+    phases = {"loop": [], "vectorized": []}
     histories = {}
     for repetition in range(repeats):
         order = ("loop", "vectorized")
         if repetition % 2:
             order = ("vectorized", "loop")
         for backend in order:
+            timings: dict = {}
             start = time.perf_counter()
             history = run_history(
-                prepared, q, seed=args.seed, backend=backend
+                prepared,
+                q,
+                seed=args.seed,
+                backend=backend,
+                precision=args.precision,
+                fast=args.fast,
+                phase_timings=timings,
             )
             times[backend].append(time.perf_counter() - start)
+            phases[backend].append(timings)
             previous = histories.setdefault(backend, history)
             if previous.records != history.records:
                 raise AssertionError(
@@ -772,18 +805,55 @@ def _cmd_bench_trainer(args) -> int:
 
     loop_s = min(times["loop"])
     vectorized_s = min(times["vectorized"])
+    # Per-phase breakdown of each backend's best repetition; whatever the
+    # wall-clock spends outside local SGD + aggregation ("train") and
+    # metric passes ("eval") is setup overhead ("other").
+    best_phases = {}
+    for backend in ("loop", "vectorized"):
+        best = int(np.argmin(times[backend]))
+        wall = times[backend][best]
+        timing = phases[backend][best]
+        best_phases[backend] = {
+            "train_s": timing.get("train_s", 0.0),
+            "eval_s": timing.get("eval_s", 0.0),
+            "other_s": max(
+                wall - timing.get("train_s", 0.0) - timing.get("eval_s", 0.0),
+                0.0,
+            ),
+        }
     identical = (
         histories["loop"].records == histories["vectorized"].records
     )
     rounds = prepared.config.num_rounds
     speedup = loop_s / vectorized_s if vectorized_s > 0 else float("inf")
     rows = [
-        ["loop", loop_s, rounds / loop_s, 1.0],
-        ["vectorized", vectorized_s, rounds / vectorized_s, speedup],
+        [
+            "loop",
+            loop_s,
+            best_phases["loop"]["train_s"],
+            best_phases["loop"]["eval_s"],
+            rounds / loop_s,
+            1.0,
+        ],
+        [
+            "vectorized",
+            vectorized_s,
+            best_phases["vectorized"]["train_s"],
+            best_phases["vectorized"]["eval_s"],
+            rounds / vectorized_s,
+            speedup,
+        ],
     ]
     print(
         render_table(
-            ["backend", "wall-clock s", "rounds/s", "speedup vs loop"],
+            [
+                "backend",
+                "wall-clock s",
+                "train s",
+                "eval s",
+                "rounds/s",
+                "speedup vs loop",
+            ],
             rows,
             title=(
                 f"Fig.-4 workload ({args.setup}, scale "
@@ -794,7 +864,21 @@ def _cmd_bench_trainer(args) -> int:
             float_format=",.3f",
         )
     )
-    print(f"loop == vectorized (bit-identical histories): {identical}")
+    print(f"equilibrium solve: {solve_s:,.3f} s")
+    if exact_mode:
+        print(f"loop == vectorized (bit-identical histories): {identical}")
+    else:
+        # The fast tier trades the cross-backend bit-identity contract for
+        # throughput (summation order differs between engines at reduced
+        # precision), so report the divergence instead of asserting it away.
+        deviation = abs(
+            histories["loop"].final_global_loss()
+            - histories["vectorized"].final_global_loss()
+        )
+        print(
+            f"fast tier ({args.precision}): |final loss delta| between "
+            f"backends = {deviation:.3e}"
+        )
     if args.out:
         out_dir, filename = args.out, "bench_trainer.json"
     else:
@@ -807,6 +891,10 @@ def _cmd_bench_trainer(args) -> int:
             if prepared.scale.name == "bench"
             else f"bench_trainer_{prepared.scale.name}.json"
         )
+        if not exact_mode:
+            # Fast-tier measurements live beside — never instead of — the
+            # exact-path artifact the README perf table tracks.
+            filename = filename.replace(".json", "_fast.json")
     out_dir.mkdir(parents=True, exist_ok=True)
     save_json(
         {
@@ -819,10 +907,15 @@ def _cmd_bench_trainer(args) -> int:
             "local_steps": prepared.config.local_steps,
             "batch_size": prepared.config.batch_size,
             "mean_participants": float(np.clip(q, 0.0, 1.0).sum()),
+            "precision": args.precision,
+            "fast": args.fast,
+            "solve_s": solve_s,
             "loop_s": loop_s,
             "vectorized_s": vectorized_s,
             "loop_s_all": times["loop"],
             "vectorized_s_all": times["vectorized"],
+            "loop_phases": best_phases["loop"],
+            "vectorized_phases": best_phases["vectorized"],
             "loop_rounds_per_s": rounds / loop_s,
             "vectorized_rounds_per_s": rounds / vectorized_s,
             "speedup": speedup,
@@ -830,7 +923,7 @@ def _cmd_bench_trainer(args) -> int:
         },
         out_dir / filename,
     )
-    return 0 if identical else 1
+    return 0 if identical or not exact_mode else 1
 
 
 #: Fleet shape of the ``bench memory`` measurement per scale profile:

@@ -225,6 +225,14 @@ class TrainJob:
     ``chunk_size`` they are excluded from :meth:`key_fields`: a resumed
     history is bit-identical to an uninterrupted one, so checkpointing
     must not fork the cache.
+
+    ``precision`` / ``fast`` select the fast tier. They are excluded from
+    :meth:`key_fields` like the other performance knobs — the fast tier is
+    validated by statistical equivalence to the exact path, and its results
+    stand in for exact ones wherever the tier is chosen. Corollary: do
+    **not** point fast-tier and exact sweeps at the same cache directory
+    when you need the exact numbers — warm the exact store first, or give
+    the fast tier its own ``cache_dir``.
     """
 
     q: Tuple[float, ...]
@@ -236,6 +244,8 @@ class TrainJob:
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 10
     resume: bool = False
+    precision: str = "float64"
+    fast: bool = False
 
     kind = "train"
 
@@ -527,6 +537,8 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=spec.checkpoint_every,
             resume=spec.resume,
+            precision=spec.precision,
+            fast=spec.fast,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
@@ -638,6 +650,14 @@ class ExperimentOrchestrator:
             full-width for eager setups, a bounded chunk for streaming
             ones). Also excluded from cache keys — chunking never changes
             results, only peak memory.
+        precision: Kernel dtype for the train jobs this orchestrator
+            builds (``"float64"`` or ``"float32"``).
+        fast: Run train jobs on the fast tier (float32-friendly fused
+            rounds, sub-sampled evaluation). Like ``backend``, neither
+            knob enters cache keys — the fast tier is validated by
+            statistical equivalence, and its results stand in for the
+            exact ones wherever the tier is selected; use a separate
+            ``cache_dir`` when exact numbers must not be displaced.
         job_timeout: Seconds a pool job may run before it is presumed
             stuck; the pool is torn down (a running task cannot be
             cancelled individually), the overdue job is retried with
@@ -668,6 +688,8 @@ class ExperimentOrchestrator:
         store: Optional[ResultStore] = None,
         backend: str = "vectorized",
         chunk_size: Optional[int] = None,
+        precision: str = "float64",
+        fast: bool = False,
         job_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_base_delay: float = 0.5,
@@ -689,6 +711,8 @@ class ExperimentOrchestrator:
         self.jobs = int(jobs)
         self.backend = backend
         self.chunk_size = chunk_size
+        self.precision = precision
+        self.fast = bool(fast)
         self.job_timeout = None if job_timeout is None else float(job_timeout)
         self.max_retries = int(max_retries)
         self.retry_base_delay = float(retry_base_delay)
@@ -1236,6 +1260,8 @@ class ExperimentOrchestrator:
                 checkpoint_dir=self.checkpoint_dir,
                 checkpoint_every=self.checkpoint_every,
                 resume=self.resume,
+                precision=self.precision,
+                fast=self.fast,
             )
 
         nodes: List[JobNode] = []
@@ -1346,6 +1372,8 @@ class ExperimentOrchestrator:
                                 checkpoint_dir=self.checkpoint_dir,
                                 checkpoint_every=self.checkpoint_every,
                                 resume=self.resume,
+                                precision=self.precision,
+                                fast=self.fast,
                             ),
                         )
                     )

@@ -70,6 +70,9 @@ def run_history(
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 10,
     resume: bool = False,
+    precision: str = "float64",
+    fast: bool = False,
+    phase_timings: Optional[dict] = None,
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
 
@@ -105,6 +108,14 @@ def run_history(
     A resumed history is bit-identical to an uninterrupted one (see
     :mod:`repro.fl.checkpoint`), so — like ``backend``/``chunk_size`` —
     the checkpoint knobs never enter cache keys.
+
+    ``precision``/``fast`` select the fast tier (float32 kernels,
+    pre-drawn participation, sub-sampled evaluation — see
+    :class:`~repro.fl.FederatedTrainer`). The default pair is byte-for-byte
+    the historical exact path; non-default settings trade bit-exactness
+    for throughput and are validated by statistical-equivalence tests
+    instead of digest pins. ``phase_timings``, when a dict, receives the
+    trainer's per-phase wall-clock breakdown (``train_s`` / ``eval_s``).
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
@@ -144,13 +155,18 @@ def run_history(
         rng_factory=child,
         backend=backend,
         chunk_size=chunk_size,
+        precision=precision,
+        fast=fast,
     )
     checkpoint = None
     if checkpoint_dir is not None:
         checkpoint = CheckpointConfig(
             directory=checkpoint_dir, every=checkpoint_every, resume=resume
         )
-    return trainer.run(config.num_rounds, checkpoint=checkpoint)
+    history = trainer.run(config.num_rounds, checkpoint=checkpoint)
+    if phase_timings is not None:
+        phase_timings.update(trainer.phase_timings)
+    return history
 
 
 @dataclass

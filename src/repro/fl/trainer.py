@@ -31,6 +31,10 @@ are never all resident at once.
 
 from __future__ import annotations
 
+import json
+import time
+from collections import OrderedDict
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -47,7 +51,11 @@ from repro.fl.history import RoundRecord, TrainingHistory
 from repro.fl.participation import ParticipationModel
 from repro.fl.server import FLServer
 from repro.models.base import Model
-from repro.models.metrics import global_loss
+from repro.models.metrics import (
+    draw_evaluation_panel,
+    global_loss,
+    subsampled_global_loss,
+)
 from repro.models.optim import ExponentialDecaySchedule, LearningRateSchedule
 from repro.utils.rng import RngFactory
 
@@ -57,9 +65,62 @@ RoundTimer = Callable[[np.ndarray, int], float]
 #: Supported local-SGD execution strategies.
 BACKENDS = ("vectorized", "loop")
 
+#: Working precisions the trainer accepts (``--precision`` values).
+PRECISIONS = ("float64", "float32")
+
 #: Default participants-per-stack for streaming federations (eager
 #: federations default to the unbounded full-width stack).
 DEFAULT_CHUNK_SIZE = 64
+
+#: Importance draws per sub-sampled evaluation (fast tier); fleets at or
+#: below this size are still scored exactly.
+FAST_EVAL_SAMPLE = 256
+
+#: Fast-tier row cache capacity (clients whose dtype-cast shard rows stay
+#: resident across rounds, above the provider's own LRU).
+FAST_ROW_CACHE_CLIENTS = 4096
+
+#: Fast-tier pool cache budget in *samples* across all cached stacked
+#: pools (repeat participant groups skip the gather entirely).
+FAST_POOL_CACHE_SAMPLES = 1 << 18
+
+#: Stack width used by the fast tier when the kernel-sweep profile is
+#: unavailable (the committed sweep selects 32 as well).
+FAST_FALLBACK_CHUNK = 32
+
+#: The committed kernel sweep that seeds profile-driven chunk selection.
+_SWEEP_PROFILE_PATH = (
+    Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "bench"
+    / "bench_trainer_kernel_sweep.json"
+)
+
+
+def select_fast_chunk_size(profile_path: Optional[Path] = None) -> int:
+    """Profile-driven kernel selection from the committed sweep.
+
+    Picks the ``stack_size`` minimizing *per-client* kernel cost
+    (``vectorized_us_per_step / stack_size``) over the archived
+    ``bench_trainer_kernel_sweep.json`` rows; falls back to
+    :data:`FAST_FALLBACK_CHUNK` when the profile is missing or malformed
+    (the fast tier must not depend on benchmark artifacts to run).
+    """
+    path = _SWEEP_PROFILE_PATH if profile_path is None else Path(profile_path)
+    try:
+        rows = json.loads(path.read_text())["rows"]
+        best = min(
+            rows,
+            key=lambda row: float(row["vectorized_us_per_step"])
+            / int(row["stack_size"]),
+        )
+        size = int(best["stack_size"])
+        if size >= 1:
+            return size
+    except (OSError, ValueError, KeyError, TypeError, ZeroDivisionError):
+        pass
+    return FAST_FALLBACK_CHUNK
 
 
 def _unit_round_timer(mask: np.ndarray, round_index: int) -> float:
@@ -93,10 +154,23 @@ class FederatedTrainer:
             per-client loop. Histories are bit-identical either way.
         chunk_size: Maximum participants per vectorized stack. ``None``
             (default) keeps the full-width stack for eager federations and
-            :data:`DEFAULT_CHUNK_SIZE` for streaming ones. Histories are
-            bit-identical for every chunking — the knob only bounds peak
-            memory (gathered shards + kernel workspace scale with the
+            :data:`DEFAULT_CHUNK_SIZE` for streaming ones (the fast tier
+            instead selects the profile-driven width from the committed
+            kernel sweep — see :func:`select_fast_chunk_size`). Histories
+            are bit-identical for every chunking — the knob only bounds
+            peak memory (gathered shards + kernel workspace scale with the
             chunk, not the fleet).
+        precision: Working dtype of the local-SGD kernels. ``"float64"``
+            (default) is the bit-exact path; ``"float32"`` runs the
+            stacked GEMMs in single precision (validated by statistical
+            equivalence, not digest equality — see the fast-tier docs).
+        fast: Opt into the fast tier: participation masks are pre-drawn
+            for the whole run (same stream, same masks), dtype-cast shard
+            rows and assembled participant pools persist across rounds in
+            trainer-level LRUs, and large-fleet evaluation switches to the
+            deterministic sub-sampled estimator of
+            :func:`repro.models.metrics.subsampled_global_loss`. Implies
+            nothing about ``precision`` — ``fast`` + ``float64`` is valid.
     """
 
     def __init__(
@@ -115,6 +189,8 @@ class FederatedTrainer:
         initial_params: Optional[np.ndarray] = None,
         backend: str = "vectorized",
         chunk_size: Optional[int] = None,
+        precision: str = "float64",
+        fast: bool = False,
     ):
         if participation.num_clients != federated.num_clients:
             raise ValueError(
@@ -131,11 +207,31 @@ class FederatedTrainer:
             )
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if precision not in PRECISIONS:
+            raise ValueError(
+                f"unknown precision {precision!r}; choose from {PRECISIONS}"
+            )
         self.backend = backend
+        self.dtype = np.dtype(precision)
+        self.fast = bool(fast)
         self.streaming = bool(getattr(federated, "streaming", False))
         if chunk_size is None and self.streaming:
-            chunk_size = DEFAULT_CHUNK_SIZE
+            chunk_size = (
+                select_fast_chunk_size() if self.fast else DEFAULT_CHUNK_SIZE
+            )
         self.chunk_size = None if chunk_size is None else int(chunk_size)
+        # Fast-tier persistent caches (see the class docstring); empty and
+        # untouched on the exact path.
+        self._row_cache: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]"
+        self._row_cache = OrderedDict()
+        self._pool_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._pool_cache_samples = 0
+        self._eval_panel = None
+        #: Diagnostics of the most recent sub-sampled evaluation (None on
+        #: the exact path).
+        self.last_subsampled_loss = None
+        #: Cumulative wall-clock seconds by phase, for the bench breakdown.
+        self.phase_timings: Dict[str, float] = {"train_s": 0.0, "eval_s": 0.0}
         # Concatenated shard arrays for the vectorized backend, built lazily
         # on the first vectorized round (client n's sample i lives at flat
         # row ``offsets[n] + i``).
@@ -150,6 +246,7 @@ class FederatedTrainer:
         self.eval_every = int(eval_every)
         self.round_timer = round_timer or _unit_round_timer
         factory = rng_factory or RngFactory(0)
+        self._rng_factory = factory
         self.clients = [
             FLClient(
                 client_id,
@@ -171,11 +268,104 @@ class FederatedTrainer:
 
     def _evaluate(self, params: np.ndarray) -> dict:
         test = self.federated.test_dataset
+        if self.fast and self.federated.num_clients > FAST_EVAL_SAMPLE:
+            if self._eval_panel is None:
+                # Drawn once from its own named stream (never touches the
+                # client SGD or participation streams) and reused every
+                # round, so the panel's shards stay cache-resident.
+                self._eval_panel = draw_evaluation_panel(
+                    self.federated.weights,
+                    FAST_EVAL_SAMPLE,
+                    self._rng_factory.make("fast-eval-panel"),
+                )
+            subsampled = subsampled_global_loss(
+                self.model,
+                params,
+                self.federated,
+                self._eval_panel,
+                arrays=self._rows_by_id,
+            )
+            self.last_subsampled_loss = subsampled
+            objective = subsampled.estimate
+        else:
+            objective = global_loss(self.model, params, self.federated)
         return {
-            "global_loss": global_loss(self.model, params, self.federated),
+            "global_loss": objective,
             "test_loss": self.model.dataset_loss(params, test),
             "test_accuracy": self.model.dataset_accuracy(params, test),
         }
+
+    # Fast-tier caches -------------------------------------------------------
+
+    def _client_rows(self, client: FLClient) -> Tuple[np.ndarray, np.ndarray]:
+        """A client's shard rows, dtype-cast and LRU-cached in fast mode.
+
+        The exact path goes straight to the shard (one ``arrays()`` call);
+        the fast tier keeps up to :data:`FAST_ROW_CACHE_CLIENTS` clients'
+        cast rows resident across rounds, above the streaming provider's
+        own LRU — repeat participants skip both the regeneration and the
+        cast.
+        """
+        if not self.fast:
+            return client.dataset.arrays()
+        cached = self._row_cache.get(client.client_id)
+        if cached is not None:
+            self._row_cache.move_to_end(client.client_id)
+            return cached
+        features, labels = client.dataset.arrays()
+        if features.dtype != self.dtype:
+            features = features.astype(self.dtype)
+        self._row_cache[client.client_id] = (features, labels)
+        while len(self._row_cache) > FAST_ROW_CACHE_CLIENTS:
+            self._row_cache.popitem(last=False)
+        return features, labels
+
+    def _rows_by_id(self, client_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._client_rows(self.clients[client_id])
+
+    def _member_pool(self, members) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked ``(features, labels, offsets)`` pool for a kernel group.
+
+        The exact path assembles a fresh pool per group. The fast tier
+        keeps assembled pools in an LRU keyed by the exact participant
+        tuple (bounded by :data:`FAST_POOL_CACHE_SAMPLES` total samples),
+        so a repeat participant group — deterministic cohorts, full
+        participation, cyclic schedules — skips the gather entirely.
+        """
+        shard_sizes = [client.num_samples for client, _ in members]
+        pool_size = int(np.sum(shard_sizes))
+        key = None
+        if self.fast:
+            key = tuple(client.client_id for client, _ in members)
+            cached = self._pool_cache.get(key)
+            if cached is not None:
+                self._pool_cache.move_to_end(key)
+                return cached
+        pool_features = np.empty(
+            (pool_size, self.federated.num_features), dtype=self.dtype
+        )
+        pool_labels = np.empty(pool_size, dtype=int)
+        pool_offsets = np.empty(len(members), dtype=int)
+        position = 0
+        for row, (client, _) in enumerate(members):
+            size = shard_sizes[row]
+            # One fetch per shard: a lazy shard materializes once even
+            # with the provider LRU off.
+            features, labels = self._client_rows(client)
+            pool_features[position:position + size] = features
+            pool_labels[position:position + size] = labels
+            pool_offsets[row] = position
+            position += size
+        if key is not None:
+            self._pool_cache[key] = (pool_features, pool_labels, pool_offsets)
+            self._pool_cache_samples += pool_size
+            while (
+                self._pool_cache_samples > FAST_POOL_CACHE_SAMPLES
+                and len(self._pool_cache) > 1
+            ):
+                _, evicted = self._pool_cache.popitem(last=False)
+                self._pool_cache_samples -= int(evicted[0].shape[0])
+        return pool_features, pool_labels, pool_offsets
 
     # Local-update engines ---------------------------------------------------
 
@@ -214,7 +404,11 @@ class FederatedTrainer:
         # the kernel's per-step gathers then read a pool sized to the round
         # (cache-resident) instead of the whole federation. Copying a shard
         # is one sequential memcpy per participant, amortized over E steps.
-        self._pool_features = np.empty_like(self._flat_features)
+        # The pool follows the working precision (assignment casts), so a
+        # float32 trainer runs float32 GEMMs even over eager float64 data.
+        self._pool_features = np.empty(
+            self._flat_features.shape, dtype=self.dtype
+        )
         self._pool_labels = np.empty_like(self._flat_labels)
 
     def _local_updates_vectorized(
@@ -261,7 +455,7 @@ class FederatedTrainer:
             )
             params_stack = self.model.batched_sgd_steps(
                 np.repeat(
-                    np.asarray(global_params, dtype=float)[None, :],
+                    np.asarray(global_params, dtype=self.dtype)[None, :],
                     len(members),
                     axis=0,
                 ),
@@ -296,8 +490,7 @@ class FederatedTrainer:
         active = [client for client in self.clients if mask[client.client_id]]
         if not active:
             return {}
-        params0 = np.asarray(global_params, dtype=float)
-        num_features = self.federated.num_features
+        params0 = np.asarray(global_params, dtype=self.dtype)
         updated: Dict[int, np.ndarray] = {}
         for start in range(0, len(active), self.chunk_size):
             chunk = active[start:start + self.chunk_size]
@@ -308,23 +501,9 @@ class FederatedTrainer:
                     (client, indices)
                 )
             for members in groups.values():
-                shard_sizes = [
-                    client.num_samples for client, _ in members
-                ]
-                pool_size = int(np.sum(shard_sizes))
-                pool_features = np.empty((pool_size, num_features))
-                pool_labels = np.empty(pool_size, dtype=int)
-                pool_offsets = np.empty(len(members), dtype=int)
-                position = 0
-                for row, (client, _) in enumerate(members):
-                    size = shard_sizes[row]
-                    # One arrays() call per shard: a lazy shard
-                    # materializes once even with the provider LRU off.
-                    features, labels = client.dataset.arrays()
-                    pool_features[position:position + size] = features
-                    pool_labels[position:position + size] = labels
-                    pool_offsets[row] = position
-                    position += size
+                pool_features, pool_labels, pool_offsets = self._member_pool(
+                    members
+                )
                 pool_indices = (
                     np.stack([indices for _, indices in members])
                     + pool_offsets[:, None, None]
@@ -345,6 +524,10 @@ class FederatedTrainer:
     def _local_updates(
         self, global_params: np.ndarray, step_size: float, mask: np.ndarray
     ) -> Dict[int, np.ndarray]:
+        # The server holds float64 state regardless of precision; cast the
+        # broadcast parameters once per round so every engine's kernels run
+        # in the working dtype (a float64 -> float64 cast is a no-op).
+        global_params = np.asarray(global_params, dtype=self.dtype)
         if self.backend == "vectorized":
             if self.chunk_size is not None:
                 return self._local_updates_chunked(
@@ -393,29 +576,55 @@ class FederatedTrainer:
                 resumed, num_rounds
             )
         else:
+            eval_started = time.perf_counter()
+            initial_metrics = self._evaluate(self.server.params)
+            self.phase_timings["eval_s"] += time.perf_counter() - eval_started
             history.append(
                 RoundRecord(
                     round_index=-1,
                     sim_time=0.0,
                     num_participants=0,
                     step_size=float(self.schedule(0)),
-                    **self._evaluate(self.server.params),
+                    **initial_metrics,
                 )
             )
         q = self.participation.inclusion_probabilities
+        # Fast tier: pre-draw every remaining round's participation mask.
+        # The masks come off the same stream in the same order as the
+        # lazy per-round draws, so the histories are unchanged; skipped
+        # when checkpointing so a mid-run snapshot still captures the
+        # participation state as of its own round (a checkpointed fast
+        # run draws lazily — identical masks either way).
+        masks = None
+        if self.fast and manager is None:
+            masks = [
+                self.participation.sample_round(r)
+                for r in range(start_round, num_rounds)
+            ]
         for round_index in range(start_round, num_rounds):
             step_size = float(self.schedule(round_index))
-            mask = self.participation.sample_round(round_index)
+            if masks is not None:
+                mask = masks[round_index - start_round]
+            else:
+                mask = self.participation.sample_round(round_index)
             global_params = self.server.params
+            train_started = time.perf_counter()
             local_params = self._local_updates(
                 global_params, step_size, mask
             )
             self.server.apply_round(local_params, q)
+            self.phase_timings["train_s"] += (
+                time.perf_counter() - train_started
+            )
             sim_time += float(self.round_timer(mask, round_index))
 
             is_last = round_index == num_rounds - 1
             if round_index % self.eval_every == 0 or is_last:
+                eval_started = time.perf_counter()
                 metrics = self._evaluate(self.server.params)
+                self.phase_timings["eval_s"] += (
+                    time.perf_counter() - eval_started
+                )
             else:
                 metrics = {}
             history.append(
@@ -470,6 +679,10 @@ class FederatedTrainer:
             "next_round": int(next_round),
             "num_rounds": int(num_rounds),
             "sim_time": float(sim_time),
+            # The working precision travels with the snapshot (outside the
+            # config fingerprint, so pre-fast-tier checkpoints — which
+            # lack the key and implicitly ran float64 — stay readable).
+            "precision": self.dtype.name,
             "params": [float(v) for v in self.server.params],
             "server_round": int(self.server.round_index),
             "history": history_to_doc(history),
@@ -507,6 +720,13 @@ class FederatedTrainer:
             raise ValueError(
                 f"checkpoint covers {len(doc['clients'])} clients, trainer "
                 f"has {len(self.clients)}"
+            )
+        recorded_precision = doc.get("precision", "float64")
+        if recorded_precision != self.dtype.name:
+            raise ValueError(
+                f"checkpoint was taken at precision {recorded_precision!r} "
+                f"but this trainer runs {self.dtype.name!r}; resume with "
+                "the matching --precision"
             )
         self.server.restore(
             np.asarray(doc["params"], dtype=float), int(doc["server_round"])

@@ -22,9 +22,11 @@ Public symbols and their paper correspondence:
 * :class:`ServerProblem` — the Stage-I data: surrogate coefficients
   ``alpha, beta``, horizon ``R``, budget ``B`` (Eq. 10's constraint set).
 * :class:`StageIResult` / :func:`solve_stage1_kkt` /
-  :func:`solve_stage1_msearch` — the Stage-I optimum; ``kkt`` bisects the
-  budget multiplier ``lambda*``, ``m-search`` is the paper's fixed-M convex
-  decomposition (Sec. V-B).
+  :func:`solve_stage1_msearch` / :func:`solve_stage1_approx` — the
+  Stage-I optimum; ``kkt`` bisects the budget multiplier ``lambda*``,
+  ``m-search`` is the paper's fixed-M convex decomposition (Sec. V-B),
+  ``approx`` is the fast tier's bucketed search with bounded exact
+  refinement (100k+ fleets).
 * :func:`solve_cpl_game` / :class:`StackelbergEquilibrium` — backward
   induction to ``{P^SE, q^SE}`` with the reporting quantities the analysis
   highlights: ``lambda*``, the bi-directional-payment threshold
@@ -111,6 +113,7 @@ from repro.game.properties import (
 from repro.game.server_problem import (
     ServerProblem,
     StageIResult,
+    solve_stage1_approx,
     solve_stage1_kkt,
     solve_stage1_msearch,
 )
@@ -127,6 +130,7 @@ __all__ = [
     "surrogate_utility",
     "ServerProblem",
     "StageIResult",
+    "solve_stage1_approx",
     "solve_stage1_kkt",
     "solve_stage1_msearch",
     "StackelbergEquilibrium",

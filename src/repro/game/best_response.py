@@ -16,7 +16,7 @@ The inverse map is Eq. (17): ``P_n(q) = 2 c_n q - v_n A_n / q^2``.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -160,7 +160,23 @@ def best_response_vector(
         raise ValueError("value_contribution must be >= 0 for every client")
     if np.any((q_max <= 0) | (q_max > 1)):
         raise ValueError("q_max must lie in (0, 1] for every client")
-    # vA = 0: the cubic degenerates to the linear-quadratic closed form.
+    # vA = 0 rows degenerate to the linear-quadratic closed form inside
+    # _raw_responses; stake rows run the bracketed Newton.
+    return _raw_responses(prices, costs, value_contribution, q_max)
+
+
+def _raw_responses(
+    prices: np.ndarray,
+    costs: np.ndarray,
+    value_contribution: np.ndarray,
+    q_max: np.ndarray,
+) -> np.ndarray:
+    """Best responses on raw arrays (no population validation).
+
+    The shared core of :func:`best_response_vector` and the bucketed
+    approximate tier: the ``vA = 0`` closed form plus the bracketed
+    Newton cubic for rows with intrinsic stake.
+    """
     responses = np.clip(prices / (2.0 * costs), 0.0, q_max)
     stake = value_contribution > 0
     if np.any(stake):
@@ -171,6 +187,66 @@ def best_response_vector(
             q_max[stake],
         )
     return responses
+
+
+def bucket_representatives(
+    population: ClientPopulation,
+    contributions: Sequence[float],
+    *,
+    shape: Optional[Sequence[float]] = None,
+    num_buckets: int = 64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Collapse the fleet into <= ``num_buckets`` representative clients.
+
+    Clients are stratified by quantile digitization over each economic
+    axis that actually varies — cost, stake ``v_n A_n``, and (when given)
+    the price shape — and each stratum is replaced by one representative
+    at the stratum means. Solving a level search on the representatives
+    costs ``O(num_buckets)`` Newton brackets per probe instead of
+    ``O(N)``, which is what makes pricing at ``N >= 100k`` tractable; the
+    caller then refines the answer with a bounded number of exact passes.
+
+    Returns:
+        ``(counts, costs, value_contribution, q_max, shape)`` — stratum
+        sizes followed by the representative arrays.
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+    costs = np.asarray(population.costs, dtype=float)
+    value_contribution = (
+        np.asarray(population.values, dtype=float)
+        * np.asarray(contributions, dtype=float)
+    )
+    q_max = np.asarray(population.q_max, dtype=float)
+    shape_array = (
+        np.ones_like(costs)
+        if shape is None
+        else np.asarray(shape, dtype=float)
+    )
+    axes = [
+        axis
+        for axis in (costs, value_contribution, shape_array)
+        if float(np.ptp(axis)) > 0.0
+    ]
+    key = np.zeros(costs.size, dtype=int)
+    if axes:
+        bins = max(1, int(round(num_buckets ** (1.0 / len(axes)))))
+        for axis in axes:
+            edges = np.quantile(axis, np.linspace(0.0, 1.0, bins + 1)[1:-1])
+            key = key * bins + np.digitize(axis, edges)
+    _, inverse = np.unique(key, return_inverse=True)
+    counts = np.bincount(inverse).astype(float)
+
+    def stratum_mean(axis: np.ndarray) -> np.ndarray:
+        return np.bincount(inverse, weights=axis) / counts
+
+    return (
+        counts,
+        stratum_mean(costs),
+        stratum_mean(value_contribution),
+        stratum_mean(q_max),
+        stratum_mean(shape_array),
+    )
 
 
 def inverse_price(

@@ -19,6 +19,7 @@ import numpy as np
 from repro.game.server_problem import (
     ServerProblem,
     StageIResult,
+    solve_stage1_approx,
     solve_stage1_kkt,
     solve_stage1_msearch,
 )
@@ -82,8 +83,10 @@ def solve_cpl_game(
     Args:
         problem: The Stage-I data (population, surrogate, budget, horizon).
         method: ``"kkt"`` (scalar bisection on the KKT multiplier; fast and
-            exact) or ``"m-search"`` (the paper's fixed-M convex
-            decomposition with a linear search over ``M``).
+            exact), ``"m-search"`` (the paper's fixed-M convex
+            decomposition with a linear search over ``M``), or ``"approx"``
+            (the fast tier's bucketed bisection with a bounded exact
+            refinement — O(buckets) per probe instead of O(N)).
         **solver_kwargs: Passed to the selected solver.
 
     Returns:
@@ -93,8 +96,12 @@ def solve_cpl_game(
         result: StageIResult = solve_stage1_kkt(problem, **solver_kwargs)
     elif method == "m-search":
         result = solve_stage1_msearch(problem, **solver_kwargs)
+    elif method == "approx":
+        result = solve_stage1_approx(problem, **solver_kwargs)
     else:
-        raise ValueError(f"unknown method {method!r}; use 'kkt' or 'm-search'")
+        raise ValueError(
+            f"unknown method {method!r}; use 'kkt', 'm-search', or 'approx'"
+        )
     return StackelbergEquilibrium(
         problem=problem,
         q=result.q,

@@ -291,8 +291,23 @@ def build_mechanism(name: str, **kwargs) -> PricingScheme:
     return MECHANISMS[name](**kwargs)
 
 
-def default_mechanisms() -> List[PricingScheme]:
-    """The baseline-comparison suite: proposed plus four ablations."""
+def default_mechanisms(fast: bool = False) -> List[PricingScheme]:
+    """The baseline-comparison suite: proposed plus four ablations.
+
+    ``fast=True`` swaps the two level-searched schemes onto their
+    approximate solvers (bucketed search with bounded exact refinement) —
+    the tier megafleet-scale scenarios run, where an exact O(N) probe per
+    bisection step is the pricing bottleneck. The remaining mechanisms
+    are closed-form in N and need no fast variant.
+    """
+    if fast:
+        return [
+            OptimalPricing(method="approx"),
+            UniformPricing(method="approx"),
+            FullParticipationMechanism(),
+            FixedSubsetMechanism(),
+            RandomSelectionMechanism(),
+        ]
     return [
         OptimalPricing(),
         UniformPricing(),

@@ -19,7 +19,11 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.game.best_response import best_response_vector
+from repro.game.best_response import (
+    _raw_responses,
+    best_response_vector,
+    bucket_representatives,
+)
 from repro.game.equilibrium import (
     StackelbergEquilibrium,
     population_utilities,
@@ -120,6 +124,79 @@ def _budget_tight_level(
     return 0.5 * (lo + hi)
 
 
+def _approx_budget_level(
+    problem: ServerProblem,
+    shape: np.ndarray,
+    exact_spend: Callable[[float], float],
+    *,
+    num_buckets: int = 256,
+    refine_iterations: int = 8,
+    tolerance: float = 1e-9,
+) -> float:
+    """Fast-tier budget-tight level: bucketed search + bounded refinement.
+
+    Runs :func:`_budget_tight_level` on a <= ``num_buckets``-client
+    surrogate fleet (each bisection probe solves O(buckets) cubics instead
+    of O(N)), then polishes the level with at most ``refine_iterations``
+    *exact* spending probes so the returned level is budget-feasible on
+    the real fleet — the bucketing error only steers where the bounded
+    refinement starts.
+    """
+    if problem.budget <= 0:
+        return 0.0
+    population = problem.population
+    counts, costs_b, stake_b, q_max_b, shape_b = bucket_representatives(
+        population,
+        problem.contributions,
+        shape=shape,
+        num_buckets=num_buckets,
+    )
+
+    def bucketed_spend(level: float) -> float:
+        prices = level * shape_b
+        q = _raw_responses(prices, costs_b, stake_b, q_max_b)
+        return float(counts @ (prices * q))
+
+    guess = _budget_tight_level(bucketed_spend, problem.budget)
+
+    remaining = refine_iterations
+    lo = hi = max(guess, 0.0)
+    width = max(1e-3 * max(guess, 1.0), 1e-9)
+    if exact_spend(guess) > problem.budget:
+        # Overspends on the real fleet: walk down to a feasible level
+        # (level 0 always spends 0 <= B, so the walk terminates).
+        while remaining > 0:
+            remaining -= 1
+            lo = max(0.0, lo - width)
+            width *= 2.0
+            if exact_spend(lo) <= problem.budget or lo <= 0.0:
+                break
+        if exact_spend(lo) > problem.budget:
+            # Probe budget exhausted before reaching feasibility: restart
+            # the bracket from 0 (always feasible — zero price, zero spend).
+            lo = 0.0
+    else:
+        # Feasible: walk up until the exact curve crosses the budget.
+        while remaining > 0:
+            remaining -= 1
+            hi = hi + width
+            width *= 2.0
+            if exact_spend(hi) >= problem.budget:
+                break
+    for _ in range(max(remaining, 0)):
+        mid = 0.5 * (lo + hi)
+        if exact_spend(mid) > problem.budget:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+    # The feasible side: exact spending at `lo` never exceeds the budget
+    # (a bisection invariant), so the approximate tier cannot overspend —
+    # it only undershoots by at most the final bracket width.
+    return lo
+
+
 class OptimalPricing(PricingScheme):
     """The paper's mechanism: SE prices of the CPL game."""
 
@@ -137,28 +214,51 @@ class OptimalPricing(PricingScheme):
 
 
 class UniformPricing(PricingScheme):
-    """Benchmark ``P^u``: the same price for every client, budget-tight."""
+    """Benchmark ``P^u``: the same price for every client, budget-tight.
+
+    ``method=None`` (default) finds the budget-tight level with exact
+    O(N) spending probes; ``method="approx"`` is the fast tier's bucketed
+    level search with a bounded exact refinement. ``None`` keeps the
+    scheme spec — and hence historical cache keys — unchanged.
+    """
 
     name = "uniform"
+
+    def __init__(self, method: Optional[str] = None):
+        if method not in (None, "approx"):
+            raise ValueError(f"method must be None or 'approx', got {method!r}")
+        self.method = method
 
     def apply(self, problem: ServerProblem) -> PricingOutcome:
         population = problem.population
         contributions = problem.contributions
+        shape = np.ones(population.num_clients)
 
         def spend_at(level: float) -> float:
             prices = np.full(population.num_clients, level)
             q = best_response_vector(prices, population, contributions)
             return float(np.sum(prices * q))
 
-        level = _budget_tight_level(spend_at, problem.budget)
+        if self.method == "approx":
+            level = _approx_budget_level(problem, shape, spend_at)
+        else:
+            level = _budget_tight_level(spend_at, problem.budget)
         prices = np.full(population.num_clients, level)
         return evaluate_posted_prices(problem, prices, self.name)
 
 
 class WeightedPricing(PricingScheme):
-    """Benchmark ``P^w``: prices proportional to datasize, budget-tight."""
+    """Benchmark ``P^w``: prices proportional to datasize, budget-tight.
+
+    Same ``method`` contract as :class:`UniformPricing`.
+    """
 
     name = "weighted"
+
+    def __init__(self, method: Optional[str] = None):
+        if method not in (None, "approx"):
+            raise ValueError(f"method must be None or 'approx', got {method!r}")
+        self.method = method
 
     def apply(self, problem: ServerProblem) -> PricingOutcome:
         population = problem.population
@@ -171,7 +271,10 @@ class WeightedPricing(PricingScheme):
             q = best_response_vector(prices, population, contributions)
             return float(np.sum(prices * q))
 
-        level = _budget_tight_level(spend_at, problem.budget)
+        if self.method == "approx":
+            level = _approx_budget_level(problem, shape, spend_at)
+        else:
+            level = _budget_tight_level(spend_at, problem.budget)
         return evaluate_posted_prices(problem, level * shape, self.name)
 
 

@@ -230,6 +230,141 @@ def solve_stage1_kkt(
     )
 
 
+def solve_stage1_approx(
+    problem: ServerProblem,
+    *,
+    num_buckets: int = 64,
+    refine_iterations: int = 30,
+    tolerance: float = 1e-12,
+) -> StageIResult:
+    """Approximate Stage-I solve: bucketed bisection + bounded refinement.
+
+    The fast tier's solver for ``N >= 100k`` fleets. Clients are bucketed
+    by (cost, value) quantiles (see
+    :func:`repro.game.best_response.bucket_representatives`) and the KKT
+    scalarization's spending curve is evaluated on the ``O(num_buckets)``
+    representatives — each bisection probe computes the closed-form
+    per-bucket candidate ``q_b(t)`` instead of ``N`` of them. The bucketed
+    multiplier is then polished by at most ``refine_iterations`` *exact*
+    spending evaluations (a geometric re-bracket plus bisection), so the
+    returned profile is the exact KKT family member ``q(t*)`` with
+    feasible spending — the approximation only steers where the bounded
+    refinement starts, and the error bound is the exact bisection's final
+    bracket width, not the bucketing error.
+    """
+    from repro.game.best_response import bucket_representatives
+
+    population = problem.population
+    values = population.values
+
+    # Same slack-budget early exit as the exact solver.
+    q_cap = population.q_max.copy()
+    spending_cap = problem.spending(q_cap)
+    if spending_cap <= problem.budget:
+        return StageIResult(
+            q=q_cap,
+            prices=problem.prices_for(q_cap),
+            lambda_star=0.0,
+            objective_gap=problem.objective_gap(q_cap),
+            spending=spending_cap,
+            budget_tight=False,
+            method="approx",
+        )
+
+    # Stratify on (cost, stake, contribution); passing the contributions
+    # as the shape axis also hands back their stratum means, and the
+    # identity A (t - v) = A t - v A lets the bucketed candidate use the
+    # bucketed stake directly — no separate representative value needed.
+    counts, costs_b, stake_b, q_max_b, contributions_b = (
+        bucket_representatives(
+            population,
+            problem.contributions,
+            shape=problem.contributions,
+            num_buckets=num_buckets,
+        )
+    )
+
+    def bucketed_spending(t: float) -> float:
+        cube = (
+            np.maximum(contributions_b * t - stake_b, 0.0)
+            / (4.0 * costs_b)
+        )
+        q_b = np.clip(np.cbrt(cube), _Q_FLOOR, q_max_b)
+        per_bucket = 2.0 * costs_b * q_b**2 - stake_b / q_b
+        return float(counts @ per_bucket)
+
+    t_interior_cap = (
+        4.0 * population.costs * population.q_max**3 / problem.contributions
+        + values
+    )
+    t_floor = float(values.max()) if values.max() > 0 else 0.0
+    t_lo, t_hi = t_floor, float(t_interior_cap.max())
+    if t_hi <= t_lo:
+        t_hi = t_lo + 1.0
+    for _ in range(100):
+        if bucketed_spending(t_hi) >= problem.budget:
+            break
+        t_hi *= 2.0
+    for _ in range(500):
+        t_mid = 0.5 * (t_lo + t_hi)
+        if bucketed_spending(t_mid) > problem.budget:
+            t_hi = t_mid
+        else:
+            t_lo = t_mid
+        if t_hi - t_lo <= tolerance * max(1.0, abs(t_hi)):
+            break
+    t_guess = 0.5 * (t_lo + t_hi)
+
+    # Bounded exact refinement: re-bracket around the bucketed multiplier
+    # with exact O(N) spending probes, then bisect the bracket down. Every
+    # probe below is one full-fleet spending evaluation; the total is
+    # capped by ``refine_iterations``, independent of N.
+    def exact_spending(t: float) -> float:
+        return problem.spending(_q_of_t(problem, t))
+
+    remaining = refine_iterations
+    t_lo = t_hi = t_guess
+    width = max(1e-3 * max(abs(t_guess), 1.0), 1e-9)
+    if exact_spending(t_guess) > problem.budget:
+        # The bucketed multiplier overspends: walk down until feasible
+        # (spending dives toward -inf as t -> t_floor, so this is fast).
+        while remaining > 0:
+            remaining -= 1
+            t_lo = max(t_floor, t_lo - width)
+            width *= 2.0
+            if exact_spending(t_lo) <= problem.budget or t_lo <= t_floor:
+                break
+    else:
+        # Feasible: walk up until the exact curve crosses the budget
+        # (it must by spending_cap > B, checked above).
+        while remaining > 0:
+            remaining -= 1
+            t_hi = t_hi + width
+            width *= 2.0
+            if exact_spending(t_hi) >= problem.budget:
+                break
+    for _ in range(max(remaining, 0)):
+        t_mid = 0.5 * (t_lo + t_hi)
+        if exact_spending(t_mid) > problem.budget:
+            t_hi = t_mid
+        else:
+            t_lo = t_mid
+        if t_hi - t_lo <= tolerance * max(1.0, abs(t_hi)):
+            break
+    # Feasible side of the bracket, like the exact solver.
+    t_star = t_lo
+    q_star = _q_of_t(problem, t_star)
+    return StageIResult(
+        q=q_star,
+        prices=problem.prices_for(q_star),
+        lambda_star=1.0 / t_star if t_star > 0 else math.inf,
+        objective_gap=problem.objective_gap(q_star),
+        spending=problem.spending(q_star),
+        budget_tight=True,
+        method="approx",
+    )
+
+
 def _solve_fixed_m(
     problem: ServerProblem, m_value: float, q_start: np.ndarray
 ) -> Optional[np.ndarray]:

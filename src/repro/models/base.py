@@ -180,8 +180,15 @@ class Model(ABC):
         predictions = self.predict(params, dataset.features)
         return float(np.mean(predictions == dataset.labels))
 
+    # Parameter checks follow the array's dtype: float32 stacks flow through
+    # the kernels unchanged (the opt-in fast tier), while every other input
+    # — lists, ints, float64 — is canonicalized to float64 exactly as before,
+    # so the bit-exact default path sees no change.
+
     def _check_params(self, params: np.ndarray) -> np.ndarray:
-        params = np.asarray(params, dtype=float)
+        params = np.asarray(params)
+        if params.dtype != np.float32:
+            params = np.asarray(params, dtype=float)
         if params.shape != (self.num_params,):
             raise ValueError(
                 f"params must have shape ({self.num_params},), got {params.shape}"
@@ -189,7 +196,9 @@ class Model(ABC):
         return params
 
     def _check_params_stack(self, params_stack: np.ndarray) -> np.ndarray:
-        params_stack = np.asarray(params_stack, dtype=float)
+        params_stack = np.asarray(params_stack)
+        if params_stack.dtype != np.float32:
+            params_stack = np.asarray(params_stack, dtype=float)
         if params_stack.ndim != 2 or params_stack.shape[1] != self.num_params:
             raise ValueError(
                 "params_stack must have shape (num_tasks, "

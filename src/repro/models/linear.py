@@ -26,6 +26,19 @@ from repro.utils.validation import (
 )
 
 
+#: Precisions the models accept; everything else is a configuration error.
+_SUPPORTED_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
+def _check_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"dtype must be float32 or float64, got {resolved.name!r}"
+        )
+    return resolved
+
+
 def _softmax(logits: np.ndarray) -> np.ndarray:
     # The normalizer uses einsum rather than ndarray.sum: einsum's
     # sum-of-products loop is markedly cheaper on small arrays, and its
@@ -50,9 +63,19 @@ class MultinomialLogisticRegression(Model):
         num_classes: Number of classes ``C``.
         l2: Regularization strength; equals the strong-convexity modulus
             ``mu``.
+        dtype: Working precision of :meth:`init_params` (``"float64"`` —
+            the bit-exact default — or ``"float32"`` for the fast tier).
+            The kernels themselves follow the dtype of the parameter
+            stack they are handed, so this only seeds the precision.
     """
 
-    def __init__(self, num_features: int, num_classes: int, l2: float = 1e-2):
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        l2: float = 1e-2,
+        dtype: str = "float64",
+    ):
         if num_features <= 0 or num_classes <= 1:
             raise ValueError(
                 "need num_features >= 1 and num_classes >= 2, got "
@@ -61,7 +84,8 @@ class MultinomialLogisticRegression(Model):
         self.num_features = int(num_features)
         self.num_classes = int(num_classes)
         self.l2 = check_positive(l2, "l2")
-        # Per-(num_tasks, batch) scratch buffers for the fused SGD kernel;
+        self.dtype = _check_dtype(dtype)
+        # Per-(batch, dtype) scratch buffers for the fused SGD kernel;
         # purely a cache, never semantic state.
         self._sgd_workspace: dict = {}
 
@@ -70,7 +94,7 @@ class MultinomialLogisticRegression(Model):
         return self.num_classes * (self.num_features + 1)
 
     def init_params(self) -> np.ndarray:
-        return np.zeros(self.num_params)
+        return np.zeros(self.num_params, dtype=self.dtype)
 
     def _unpack(self, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         params = self._check_params(params)
@@ -204,26 +228,31 @@ class MultinomialLogisticRegression(Model):
         pins that.
         """
         check_positive(step_size, "step_size")
+        params_stack = self._check_params_stack(params_stack)
+        dtype = params_stack.dtype
         num_tasks, num_steps, batch = batch_indices.shape
         split = self.num_classes * self.num_features
-        # One workspace per batch width (in practice one or two widths per
-        # federation), sized to the largest stack seen and sliced for
-        # smaller ones — bounded memory even when the per-round
-        # participant count varies over many values.
-        work = self._sgd_workspace.get(batch)
+        # One workspace per (batch width, dtype) pair (in practice one or
+        # two widths per federation), sized to the largest stack seen and
+        # sliced for smaller ones — bounded memory even when the per-round
+        # participant count varies over many values. Buffers follow the
+        # stack's dtype, so a float32 stack runs float32 GEMMs end to end.
+        work = self._sgd_workspace.get((batch, dtype))
         if work is None or work["capacity"] < num_tasks:
             work = {
                 "capacity": num_tasks,
-                "current": np.empty((num_tasks, self.num_params)),
-                "logits": np.empty((num_tasks, batch, self.num_classes)),
-                "reduced": np.empty((num_tasks, batch, 1)),
-                "gradient": np.empty((num_tasks, self.num_params)),
-                "scratch": np.empty((num_tasks, self.num_params)),
+                "current": np.empty((num_tasks, self.num_params), dtype=dtype),
+                "logits": np.empty(
+                    (num_tasks, batch, self.num_classes), dtype=dtype
+                ),
+                "reduced": np.empty((num_tasks, batch, 1), dtype=dtype),
+                "gradient": np.empty((num_tasks, self.num_params), dtype=dtype),
+                "scratch": np.empty((num_tasks, self.num_params), dtype=dtype),
                 "base": self.num_classes * np.arange(num_tasks * batch),
             }
-            self._sgd_workspace[batch] = work
+            self._sgd_workspace[(batch, dtype)] = work
         current = work["current"][:num_tasks]
-        np.copyto(current, self._check_params_stack(params_stack))
+        np.copyto(current, params_stack)
         weight_t = current[:, :split].reshape(
             num_tasks, self.num_classes, self.num_features
         ).transpose(0, 2, 1)
@@ -291,11 +320,14 @@ class RidgeRegression(Model):
     #: Identity-keyed cache entries kept per model for design matrices.
     _DESIGN_CACHE_SIZE = 4
 
-    def __init__(self, num_features: int, l2: float = 1e-2):
+    def __init__(
+        self, num_features: int, l2: float = 1e-2, dtype: str = "float64"
+    ):
         if num_features <= 0:
             raise ValueError(f"need num_features >= 1, got {num_features}")
         self.num_features = int(num_features)
         self.l2 = check_nonnegative(l2, "l2")
+        self.dtype = _check_dtype(dtype)
         self._design_cache: list = []
 
     @property
@@ -303,7 +335,7 @@ class RidgeRegression(Model):
         return self.num_features + 1
 
     def init_params(self) -> np.ndarray:
-        return np.zeros(self.num_params)
+        return np.zeros(self.num_params, dtype=self.dtype)
 
     def _design(self, features: np.ndarray) -> np.ndarray:
         # loss/gradient/predict are called with the *same* feature-matrix
@@ -319,7 +351,10 @@ class RidgeRegression(Model):
                         0, self._design_cache.pop(index)
                     )
                 return design
-        ones = np.ones((features.shape[0], 1))
+        # The bias column is float32 only for float32 features; any other
+        # input keeps the float64 column (and design) it always had.
+        ones_dtype = np.float32 if features.dtype == np.float32 else np.float64
+        ones = np.ones((features.shape[0], 1), dtype=ones_dtype)
         design = np.hstack([features, ones])
         self._design_cache.insert(0, (features, design))
         del self._design_cache[self._DESIGN_CACHE_SIZE:]
@@ -359,7 +394,8 @@ class RidgeRegression(Model):
 
     @staticmethod
     def _batched_design(features: np.ndarray) -> np.ndarray:
-        ones = np.ones(features.shape[:2] + (1,))
+        ones_dtype = np.float32 if features.dtype == np.float32 else np.float64
+        ones = np.ones(features.shape[:2] + (1,), dtype=ones_dtype)
         return np.concatenate([features, ones], axis=2)
 
     def batched_loss(

@@ -20,7 +20,7 @@ decomposition fall back to the historical per-shard loop transparently
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,6 +126,147 @@ def per_client_losses(
                 float(samples[starts[offset]:ends[offset]].mean()) + penalty
             )
     return losses
+
+
+def losses_for_clients(
+    model: Model,
+    params: np.ndarray,
+    federated: FederatedDataset,
+    client_ids: Sequence[int],
+    *,
+    arrays: Optional[Callable[[int], Tuple[np.ndarray, np.ndarray]]] = None,
+) -> np.ndarray:
+    """Local losses ``F_n(w)`` for an explicit subset of clients.
+
+    The sub-sampled twin of :func:`per_client_losses`: the same chunked
+    :meth:`~repro.models.base.Model.sample_losses` passes (one chunk of
+    samples resident at a time, streaming-safe), but only over the listed
+    clients — cost scales with the panel, not the fleet. ``arrays``
+    optionally overrides how a client's rows are fetched (the fast tier
+    passes its trainer-level row cache).
+    """
+    sizes = np.asarray(federated.sizes, dtype=int)
+    shards = federated.client_datasets
+    if arrays is None:
+        def arrays(client_id):
+            return shards[client_id].arrays()
+    ids = [int(i) for i in client_ids]
+    losses = np.empty(len(ids))
+    have_penalty = False
+    penalty = 0.0
+    start = 0
+    while start < len(ids):
+        end = start + 1
+        budget = int(sizes[ids[start]])
+        while (
+            end < len(ids)
+            and budget + int(sizes[ids[end]]) <= EVAL_CHUNK_SAMPLES
+        ):
+            budget += int(sizes[ids[end]])
+            end += 1
+        rows = [arrays(client_id) for client_id in ids[start:end]]
+        features = np.concatenate([row[0] for row in rows])
+        labels = np.concatenate([row[1] for row in rows])
+        try:
+            samples = model.sample_losses(params, features, labels)
+        except NotImplementedError:
+            return np.array(
+                [model.dataset_loss(params, shards[i]) for i in ids]
+            )
+        if not have_penalty:
+            penalty = model.penalty(params)
+            have_penalty = True
+        ends = np.cumsum(sizes[ids[start:end]])
+        starts = np.concatenate(([0], ends[:-1]))
+        for offset in range(end - start):
+            losses[start + offset] = (
+                float(samples[starts[offset]:ends[offset]].mean()) + penalty
+            )
+        start = end
+    return losses
+
+
+@dataclass(frozen=True)
+class EvaluationPanel:
+    """A deterministic, weight-proportional client subsample.
+
+    ``client_ids`` are the distinct clients drawn and ``counts`` how many
+    of the ``sample_size`` importance draws landed on each. Drawn once per
+    run (from its own named RNG stream) and reused every evaluation round,
+    so the shard LRU keeps the panel's shards resident across rounds.
+    """
+
+    client_ids: np.ndarray
+    counts: np.ndarray
+    sample_size: int
+
+    @property
+    def num_unique(self) -> int:
+        return int(self.client_ids.size)
+
+
+@dataclass(frozen=True)
+class SubsampledLoss:
+    """A confidence-interval estimate of the global objective."""
+
+    estimate: float
+    half_width: float
+    sample_size: int
+    num_unique: int
+
+
+def draw_evaluation_panel(
+    weights: np.ndarray, sample_size: int, rng: np.random.Generator
+) -> EvaluationPanel:
+    """Importance-sample ``sample_size`` clients proportional to weight.
+
+    Sampling *with replacement* by the aggregation weights ``a_n`` makes
+    the plain panel mean an unbiased estimator of ``F(w) = sum a_n F_n(w)``
+    with no reweighting step, and concentrates draws on the clients that
+    dominate the objective.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    sample_size = int(sample_size)
+    if sample_size < 1:
+        raise ValueError(f"sample_size must be >= 1, got {sample_size}")
+    draws = rng.choice(weights.size, size=sample_size, p=weights / weights.sum())
+    client_ids, counts = np.unique(draws, return_counts=True)
+    return EvaluationPanel(
+        client_ids=client_ids, counts=counts, sample_size=sample_size
+    )
+
+
+def subsampled_global_loss(
+    model: Model,
+    params: np.ndarray,
+    federated: FederatedDataset,
+    panel: EvaluationPanel,
+    *,
+    arrays: Optional[Callable[[int], Tuple[np.ndarray, np.ndarray]]] = None,
+) -> SubsampledLoss:
+    """Estimate ``F(w)`` from a panel, with a normal-theory 95% interval.
+
+    Each importance draw contributes its client's local loss; the
+    estimate is the draw mean (unbiased for the weighted objective over
+    the panel draw) and ``half_width`` is ``1.96 * s / sqrt(m)`` over the
+    ``m = panel.sample_size`` draws.
+    """
+    losses = losses_for_clients(
+        model, params, federated, panel.client_ids, arrays=arrays
+    )
+    m = panel.sample_size
+    estimate = float(panel.counts @ losses) / m
+    second_moment = float(panel.counts @ (losses * losses)) / m
+    variance = max(second_moment - estimate * estimate, 0.0)
+    half_width = 1.96 * float(np.sqrt(variance / m))
+    return SubsampledLoss(
+        estimate=estimate,
+        half_width=half_width,
+        sample_size=m,
+        num_unique=panel.num_unique,
+    )
 
 
 def _assemble_chunk(shards, client_ids) -> Tuple[np.ndarray, np.ndarray]:

@@ -32,6 +32,10 @@ Built-in suite
   shard provider + chunked vectorized rounds keep peak memory bounded by
   the chunk width, so the fleet the game layer already handles actually
   trains (the memory-bounded pipeline; see ``docs/ARCHITECTURE.md``).
+* ``megafleet-100k`` — 100,000 clients, game layer only, on the **fast
+  tier**: the mechanism suite's budget-level searches run on the
+  approximate (bucketed + bounded-refinement) solvers, so pricing the
+  fleet costs O(buckets) Newton brackets per probe instead of O(N).
 """
 
 from __future__ import annotations
@@ -166,6 +170,19 @@ register_scenario(
         population=PopulationSpec(num_clients=10_000),
         train=False,
         tags=("scale",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="megafleet-100k",
+        description="100k clients through the approximate game tier "
+        "(equilibrium only; bucketed level searches with bounded exact "
+        "refinement)",
+        population=PopulationSpec(num_clients=100_000),
+        train=False,
+        fast=True,
+        tags=("scale", "fast"),
     )
 )
 

@@ -428,17 +428,30 @@ class ScenarioRunner:
             the comparison metrics filled in.
         """
         if mechanisms is None:
-            mechanisms = default_mechanisms()
+            # Fast scenarios get the suite's approximate level searches —
+            # the difference between pricing a 100k fleet in seconds and
+            # in minutes. An explicit mechanism list always wins.
+            mechanisms = default_mechanisms(fast=spec.fast)
         concrete = self.prepare(spec)
         cells: List[ScenarioCell] = []
         if spec.train:
             from repro.experiments.runner import run_pricing_comparison
 
+            orchestrator = self.orchestrator
+            if orchestrator is None and spec.fast:
+                # A fast training scenario runs its train jobs on the fast
+                # tier by default; an explicit orchestrator (CLI --fast /
+                # --precision) always wins.
+                from repro.experiments.orchestrator import (
+                    ExperimentOrchestrator,
+                )
+
+                orchestrator = ExperimentOrchestrator(jobs=1, fast=True)
             comparison = run_pricing_comparison(
                 concrete.prepared,
                 repeats=repeats,
                 schemes=list(mechanisms),
-                orchestrator=self.orchestrator,
+                orchestrator=orchestrator,
                 participation=spec.participation,
                 exclude_zero=True,
             )

@@ -107,6 +107,12 @@ class ScenarioSpec:
             fleet. Only meaningful with ``train=True`` and a synthetic
             setup (the image-like datasets partition a pooled draw and
             cannot regenerate per client).
+        fast: ``True`` runs the scenario on the fast tier: the mechanism
+            suite swaps its budget-level searches onto the approximate
+            (bucketed + bounded-refinement) solvers, and training — when
+            enabled — uses the fast trainer path. The tier for fleets
+            where exact O(N) solver probes dominate (100k+ clients);
+            validated by statistical equivalence, not digest equality.
         tags: Free-form labels (``"paper"``, ``"stress"``, ...).
     """
 
@@ -117,6 +123,7 @@ class ScenarioSpec:
     participation: ParticipationSpec = ParticipationSpec()
     train: bool = True
     streaming: bool = False
+    fast: bool = False
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -155,9 +162,9 @@ class ScenarioSpec:
     def to_doc(self) -> dict:
         """Lossless JSON-serializable form (canonical field order).
 
-        ``streaming`` is emitted only when set, so every pre-existing
-        scenario document — and every fingerprint derived from one —
-        is byte-stable across this field's introduction.
+        ``streaming`` and ``fast`` are emitted only when set, so every
+        pre-existing scenario document — and every fingerprint derived
+        from one — is byte-stable across each field's introduction.
         """
         doc = {
             "format": "scenario/v1",
@@ -171,6 +178,8 @@ class ScenarioSpec:
         }
         if self.streaming:
             doc["streaming"] = True
+        if self.fast:
+            doc["fast"] = True
         return doc
 
     @classmethod
@@ -188,6 +197,7 @@ class ScenarioSpec:
             participation=ParticipationSpec(**doc["participation"]),
             train=bool(doc["train"]),
             streaming=bool(doc.get("streaming", False)),
+            fast=bool(doc.get("fast", False)),
             tags=tuple(str(tag) for tag in doc["tags"]),
         )
 
@@ -206,7 +216,9 @@ class ScenarioSpec:
         scenario — share one dataset/population preparation and its cache
         entries. ``streaming`` enters only when set (it selects a whole
         different preparation — synthetic economy over regenerable
-        shards), keeping every pre-existing fingerprint stable.
+        shards), keeping every pre-existing fingerprint stable. ``fast``
+        never enters: like the trainer's backend knob, the tier changes
+        how results are computed, not which setup they describe.
         """
         doc = {
             "format": "scenario-population/v1",

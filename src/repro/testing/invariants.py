@@ -30,6 +30,7 @@ Families:
 from __future__ import annotations
 
 import itertools
+import math
 import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -44,7 +45,11 @@ from repro.game.best_response import best_response_vector, surrogate_utility
 from repro.game.mechanisms import build_mechanism, estimator_bias_mass
 from repro.game.pricing import PricingOutcome
 from repro.game.properties import theorem2_invariant
-from repro.game.server_problem import ServerProblem, solve_stage1_kkt
+from repro.game.server_problem import (
+    ServerProblem,
+    solve_stage1_approx,
+    solve_stage1_kkt,
+)
 from repro.models import MultinomialLogisticRegression
 from repro.scenarios.spec import ScenarioSpec
 from repro.testing.strategies import streaming_federation
@@ -71,6 +76,17 @@ UNBIASEDNESS_CLIENTS = 6
 #: Tiny-federation shape of the training-family checks:
 #: (samples per client, rounds, local steps, batch size).
 TRAIN_SHAPE = (30, 4, 2, 8)
+
+#: Relative tolerance of the approximate equilibrium tier's prices
+#: against the bracketed-Newton (exact) solution, measured against the
+#: exact price scale (prices cross zero, so element-wise relative error
+#: is ill-posed at the sign change).
+FAST_PRICE_RTOL = 1e-3
+
+#: Pinned equivalence band for fast-tier training: the float32 fused
+#: path's final global loss must land within this relative distance of
+#: the exact float64 run's.
+FAST_LOSS_RTOL = 0.05
 
 
 @dataclass(frozen=True)
@@ -173,13 +189,16 @@ class InvariantContext:
         eager: bool = False,
         checkpoint: Optional[CheckpointConfig] = None,
         interrupt_at: Optional[int] = None,
+        precision: str = "float64",
+        fast: bool = False,
     ):
         """One deterministic tiny training run; returns its history.
 
         Every variant reuses the same seed-derived RNG streams, so any
         two calls differing only in ``backend``/``chunk_size``/``eager``
         or in checkpoint interruption must produce bit-identical
-        histories.
+        histories. ``precision``/``fast`` select the fast tier, which is
+        held only to statistical equivalence, never bit identity.
         """
         _, rounds, local_steps, batch_size = TRAIN_SHAPE
         federated, q = self._training_inputs()
@@ -203,6 +222,8 @@ class InvariantContext:
             rng_factory=factory,
             backend=backend,
             chunk_size=chunk_size,
+            precision=precision,
+            fast=fast,
         )
         if interrupt_at is not None:
             base = trainer.round_timer
@@ -717,6 +738,76 @@ def check_resume_identity(
             )
         ]
     return []
+
+
+@register_invariant(
+    "fast_tier_equivalence",
+    claim="The fast tier is statistically equivalent to the exact tier: "
+    "approximate-equilibrium prices land within a relative tolerance of "
+    "the bracketed-Newton solution, and the float32 fused trainer's "
+    "final loss lands within a pinned band of the float64 run's",
+    module="repro.game.server_problem / repro.fl.trainer",
+    family="training",
+)
+def check_fast_tier_equivalence(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    violations: List[Violation] = []
+    exact = solve_stage1_kkt(ctx.problem)
+    approx = solve_stage1_approx(ctx.problem)
+    # Prices cross zero (bi-directional payments), so measure against
+    # the exact price *scale* rather than element-wise — floored at an
+    # economy-intrinsic absolute scale, because degenerate draws (e.g. a
+    # zero budget) solve to prices that are numerically zero on both
+    # tiers, where a pure relative comparison amplifies solver noise.
+    values_scale = float(np.max(ctx.problem.population.values, initial=0.0))
+    scale = max(
+        float(np.abs(exact.prices).max()),
+        1e-6 * max(1.0, values_scale),
+    )
+    price_err = float(np.max(np.abs(approx.prices - exact.prices))) / scale
+    if price_err > FAST_PRICE_RTOL:
+        violations.append(
+            _violation(
+                "fast_tier_equivalence",
+                "approximate equilibrium prices diverge from the "
+                "bracketed-Newton solution",
+                relative_error=price_err,
+                tolerance=FAST_PRICE_RTOL,
+            )
+        )
+    budget = ctx.problem.budget
+    spend = float(ctx.problem.spending(approx.q))
+    if spend > budget * (1.0 + BUDGET_SLACK) + BUDGET_SLACK:
+        violations.append(
+            _violation(
+                "fast_tier_equivalence",
+                "approximate equilibrium overspends the budget",
+                spending=spend,
+                budget=budget,
+            )
+        )
+    if ctx.train:
+        exact_run = ctx.run_training()
+        fast_run = ctx.run_training(precision="float32", fast=True)
+        exact_loss = exact_run.final_global_loss()
+        fast_loss = fast_run.final_global_loss()
+        band = FAST_LOSS_RTOL * max(1.0, abs(exact_loss))
+        if not (
+            math.isfinite(fast_loss)
+            and abs(fast_loss - exact_loss) <= band
+        ):
+            violations.append(
+                _violation(
+                    "fast_tier_equivalence",
+                    "fast-tier final loss falls outside the pinned "
+                    "equivalence band of the exact run",
+                    exact_loss=exact_loss,
+                    fast_loss=fast_loss,
+                    band=band,
+                )
+            )
+    return violations
 
 
 def catalog_table() -> List[dict]:

@@ -1,0 +1,312 @@
+"""Tests for the fast tier: dtype threading, sub-sampled evaluation,
+and the approximate equilibrium solvers.
+
+The fast tier's contract is *statistical equivalence*, not digest
+equality: float32 fused rounds and sub-sampled evaluation must land
+within pinned tolerance bands of the exact float64 path, while the
+exact path itself stays bit-identical (its digest pins live in the
+backend/checkpoint suites; here we assert the fast knobs leave it
+untouched).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_federated
+from repro.fl import BernoulliParticipation, CheckpointConfig, FederatedTrainer
+from repro.fl.trainer import (
+    FAST_FALLBACK_CHUNK,
+    PRECISIONS,
+    select_fast_chunk_size,
+)
+from repro.game import ServerProblem, solve_stage1_kkt
+from repro.game.client_model import sample_population
+from repro.game.pricing import UniformPricing, WeightedPricing
+from repro.game.server_problem import solve_stage1_approx
+from repro.models import MultinomialLogisticRegression
+from repro.models.metrics import (
+    draw_evaluation_panel,
+    global_loss,
+    subsampled_global_loss,
+)
+from repro.utils.rng import RngFactory
+
+NUM_ROUNDS = 8
+
+#: |fast final loss - exact final loss| band, relative to the exact loss
+#: scale (matches the fuzz catalog's FAST_LOSS_RTOL).
+LOSS_RTOL = 0.05
+
+#: (backend, chunk_size) grid the fast tier must stay in-band across.
+ENGINES = [("vectorized", None), ("vectorized", 2), ("loop", None)]
+
+
+def make_trainer(
+    *,
+    precision="float64",
+    fast=False,
+    backend="vectorized",
+    chunk_size=None,
+    seed=5,
+):
+    federated = synthetic_federated(
+        num_clients=6, total_samples=720, dim=10, num_classes=3, rng=7
+    )
+    factory = RngFactory(seed)
+    q = np.linspace(0.4, 0.9, federated.num_clients)
+    model = MultinomialLogisticRegression(
+        num_features=federated.num_features,
+        num_classes=federated.num_classes,
+        l2=1e-2,
+    )
+    return FederatedTrainer(
+        model,
+        federated,
+        BernoulliParticipation(q, rng=factory.make("participation")),
+        local_steps=2,
+        batch_size=8,
+        eval_every=2,
+        rng_factory=factory,
+        backend=backend,
+        chunk_size=chunk_size,
+        precision=precision,
+        fast=fast,
+    )
+
+
+def final_loss(history) -> float:
+    loss = history.final_global_loss()
+    assert np.isfinite(loss)
+    return loss
+
+
+class TestDtypeThreading:
+    def test_unknown_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            make_trainer(precision="float16")
+
+    def test_dtype_follows_precision(self):
+        for precision in PRECISIONS:
+            trainer = make_trainer(precision=precision)
+            assert trainer.dtype == np.dtype(precision)
+
+    def test_float32_tracks_exact_loss(self):
+        exact = final_loss(make_trainer().run(NUM_ROUNDS))
+        fast = final_loss(make_trainer(precision="float32").run(NUM_ROUNDS))
+        assert abs(fast - exact) <= LOSS_RTOL * max(1.0, abs(exact))
+
+    def test_exact_path_stays_deterministic(self):
+        first = make_trainer().run(NUM_ROUNDS)
+        second = make_trainer().run(NUM_ROUNDS)
+        assert first.digest() == second.digest()
+        trainer = make_trainer()
+        trainer.run(NUM_ROUNDS)
+        assert trainer.last_subsampled_loss is None
+
+
+class TestFastTierTolerance:
+    @pytest.mark.parametrize("backend,chunk_size", ENGINES)
+    def test_fast_in_band_across_engines(self, backend, chunk_size):
+        exact = final_loss(make_trainer().run(NUM_ROUNDS))
+        fast = final_loss(
+            make_trainer(
+                precision="float32",
+                fast=True,
+                backend=backend,
+                chunk_size=chunk_size,
+            ).run(NUM_ROUNDS)
+        )
+        assert abs(fast - exact) <= LOSS_RTOL * max(1.0, abs(exact))
+
+    def test_fast_tier_is_deterministic(self):
+        first = make_trainer(precision="float32", fast=True).run(NUM_ROUNDS)
+        second = make_trainer(precision="float32", fast=True).run(NUM_ROUNDS)
+        assert first.digest() == second.digest()
+
+    def test_phase_timings_accumulate(self):
+        trainer = make_trainer(precision="float32", fast=True)
+        trainer.run(NUM_ROUNDS)
+        assert trainer.phase_timings["train_s"] > 0.0
+        assert trainer.phase_timings["eval_s"] > 0.0
+
+
+class TestCheckpointPrecision:
+    def _config(self, tmp_path):
+        return CheckpointConfig(
+            directory=tmp_path, every=2, resume=True, keep=2
+        )
+
+    def _interrupted_run(self, tmp_path, kill_round=NUM_ROUNDS - 2):
+        class _Killed(BaseException):
+            pass
+
+        trainer = make_trainer(precision="float32", fast=True)
+        base = trainer.round_timer
+
+        def timer(mask, round_index):
+            if round_index == kill_round:
+                raise _Killed()
+            return base(mask, round_index)
+
+        trainer.round_timer = timer
+        with pytest.raises(_Killed):
+            trainer.run(NUM_ROUNDS, checkpoint=self._config(tmp_path))
+
+    def test_float32_resume_matches_uninterrupted(self, tmp_path):
+        reference = make_trainer(precision="float32", fast=True).run(
+            NUM_ROUNDS
+        )
+        self._interrupted_run(tmp_path)
+        resumed = make_trainer(precision="float32", fast=True).run(
+            NUM_ROUNDS, checkpoint=self._config(tmp_path)
+        )
+        assert resumed.digest() == reference.digest()
+
+    def test_precision_mismatch_rejected(self, tmp_path):
+        self._interrupted_run(tmp_path)
+        with pytest.raises(ValueError, match="precision"):
+            make_trainer().run(
+                NUM_ROUNDS, checkpoint=self._config(tmp_path)
+            )
+
+
+def big_problem(num_clients=400, seed=11):
+    rng = np.random.default_rng(seed)
+    weights = rng.uniform(0.5, 1.5, num_clients)
+    population = sample_population(
+        weights / weights.sum(),
+        rng.uniform(5.0, 15.0, num_clients),
+        mean_cost=0.1,
+        mean_value=0.2,
+        q_max=0.95,
+        rng=rng,
+    )
+    return ServerProblem(
+        population=population,
+        alpha=2000.0,
+        num_rounds=100,
+        budget=0.05 * num_clients,
+    )
+
+
+class TestApproxEquilibrium:
+    def test_tracks_kkt_prices(self, small_problem):
+        exact = solve_stage1_kkt(small_problem)
+        approx = solve_stage1_approx(small_problem)
+        scale = max(float(np.abs(exact.prices).max()), 1e-9)
+        err = float(np.max(np.abs(approx.prices - exact.prices))) / scale
+        assert err <= 1e-3
+        assert approx.method == "approx"
+
+    def test_tracks_kkt_prices_at_scale(self):
+        problem = big_problem()
+        exact = solve_stage1_kkt(problem)
+        approx = solve_stage1_approx(problem)
+        scale = max(float(np.abs(exact.prices).max()), 1e-9)
+        err = float(np.max(np.abs(approx.prices - exact.prices))) / scale
+        assert err <= 1e-3
+
+    def test_never_overspends(self, small_problem):
+        approx = solve_stage1_approx(small_problem)
+        slack = 1e-5 * max(1.0, small_problem.budget)
+        assert float(small_problem.spending(approx.q)) <= (
+            small_problem.budget + slack
+        )
+
+    def test_slack_budget_returns_caps(self, small_population):
+        problem = ServerProblem(
+            population=small_population,
+            alpha=5_000.0,
+            num_rounds=200,
+            budget=1e9,
+        )
+        approx = solve_stage1_approx(problem)
+        assert not approx.budget_tight
+        assert np.allclose(approx.q, small_population.q_max)
+
+    @pytest.mark.parametrize("scheme_cls", [UniformPricing, WeightedPricing])
+    def test_approx_pricing_tracks_exact(self, scheme_cls):
+        problem = big_problem()
+        exact = scheme_cls().apply(problem)
+        approx = scheme_cls(method="approx").apply(problem)
+        scale = max(float(np.abs(exact.prices).max()), 1e-9)
+        err = float(np.max(np.abs(approx.prices - exact.prices))) / scale
+        assert err <= 1e-2
+        assert float(problem.spending(approx.q)) <= problem.budget * (
+            1.0 + 1e-9
+        )
+
+    @pytest.mark.parametrize("scheme_cls", [UniformPricing, WeightedPricing])
+    def test_unknown_method_rejected(self, scheme_cls):
+        with pytest.raises(ValueError, match="method"):
+            scheme_cls(method="bogus")
+
+
+class TestSubsampledEvaluation:
+    def _setup(self):
+        federated = synthetic_federated(
+            num_clients=40, total_samples=2000, dim=8, num_classes=3, rng=3
+        )
+        model = MultinomialLogisticRegression(
+            num_features=federated.num_features,
+            num_classes=federated.num_classes,
+            l2=1e-2,
+        )
+        params = model.init_params()
+        return federated, model, params
+
+    def test_panel_is_deterministic(self):
+        weights = np.random.default_rng(1).uniform(0.5, 1.5, 40)
+        weights /= weights.sum()
+        first = draw_evaluation_panel(
+            weights, 64, np.random.default_rng(9)
+        )
+        second = draw_evaluation_panel(
+            weights, 64, np.random.default_rng(9)
+        )
+        assert np.array_equal(first.client_ids, second.client_ids)
+        assert np.array_equal(first.counts, second.counts)
+        assert first.counts.sum() == first.sample_size == 64
+
+    def test_estimate_brackets_exact_loss(self):
+        federated, model, params = self._setup()
+        weights = np.asarray(federated.sizes, dtype=float)
+        weights /= weights.sum()
+        panel = draw_evaluation_panel(
+            weights, 512, np.random.default_rng(4)
+        )
+        estimate = subsampled_global_loss(model, params, federated, panel)
+        exact = global_loss(model, params, federated)
+        assert estimate.half_width >= 0.0
+        # Normal-theory 95% interval, generous 3x slop for the tiny panel.
+        assert abs(estimate.estimate - exact) <= max(
+            3.0 * estimate.half_width, 0.05 * abs(exact)
+        )
+
+    def test_bad_panel_inputs_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="weights"):
+            draw_evaluation_panel(np.empty(0), 8, rng)
+        with pytest.raises(ValueError, match="sample_size"):
+            draw_evaluation_panel(np.ones(4), 0, rng)
+
+
+class TestKernelSelection:
+    def test_committed_profile_selects_width(self):
+        size = select_fast_chunk_size()
+        assert isinstance(size, int) and size >= 1
+
+    def test_missing_profile_falls_back(self, tmp_path):
+        assert (
+            select_fast_chunk_size(tmp_path / "absent.json")
+            == FAST_FALLBACK_CHUNK
+        )
+
+    def test_malformed_profile_falls_back(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"rows": [{"stack_size": 0}]}))
+        assert select_fast_chunk_size(path) == FAST_FALLBACK_CHUNK

@@ -1,17 +1,25 @@
 #!/usr/bin/env python
-"""Measure the megafleet-train scenario end to end and archive the result.
+"""Measure a megafleet scenario end to end and archive the result.
 
-Runs the registry's ``megafleet-train`` scenario (10k clients, streaming
-shards, chunked rounds) across the full mechanism suite at the given
-scale, recording wall-clock, the process's peak RSS, and the per-mechanism
-training metrics into
-``benchmarks/results/bench/megafleet_train_<scale>.json``. This is the
-acceptance artifact for the memory-bounded training pipeline: a fleet
-250x the paper's trains within a laptop-class memory budget.
+Runs a registered scenario (default ``megafleet-train``: 10k clients,
+streaming shards, chunked rounds) across the full mechanism suite at the
+given scale, recording wall-clock, the process's peak RSS, the kernel
+configuration (backend, chunk size, dtype, tier), and the per-mechanism
+metrics into
+``benchmarks/results/bench/<scenario>_<scale>[_fast].json``. This is the
+acceptance artifact for the scale pipelines: the memory-bounded trainer
+(``megafleet-train``) and the fast tier (``--fast``, or the inherently
+fast ``megafleet-100k`` game-only scenario).
+
+The ``_fast`` filename suffix appears only when the fast tier is
+requested via ``--fast``, so exact-tier baselines are never overwritten
+by fast-tier runs of the same scenario.
 
 Usage::
 
-    PYTHONPATH=src python tools/measure_megafleet.py [--scale ci] [--seed 0]
+    PYTHONPATH=src python tools/measure_megafleet.py [--scale ci]
+        [--seed 0] [--scenario megafleet-train] [--backend vectorized]
+        [--chunk-size N] [--precision float64|float32] [--fast]
 """
 
 from __future__ import annotations
@@ -28,27 +36,82 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="ci")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scenario", default="megafleet-train")
+    parser.add_argument(
+        "--backend",
+        choices=("vectorized", "loop"),
+        default="vectorized",
+        help="local-SGD engine for train scenarios",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="memory-bounded stack width (default: trainer's choice)",
+    )
+    parser.add_argument(
+        "--precision",
+        choices=("float64", "float32"),
+        default="float64",
+        help="kernel dtype for train scenarios",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run on the fast tier (fused float32 rounds, sub-sampled "
+        "evaluation, approximate equilibrium solvers)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.experiments.orchestrator import ExperimentOrchestrator
+    from repro.game.mechanisms import default_mechanisms
     from repro.scenarios import ScenarioRunner, get_scenario
     from repro.scenarios.runner import nonfinite_metrics
     from repro.utils.serialization import save_json
 
     spec = get_scenario(args.scenario)
-    runner = ScenarioRunner(scale=args.scale, seed=args.seed)
+    fast = args.fast or spec.fast
+    orchestrator = None
+    if spec.train:
+        orchestrator = ExperimentOrchestrator(
+            jobs=1,
+            backend=args.backend,
+            chunk_size=args.chunk_size,
+            precision=args.precision,
+            fast=fast,
+        )
+    runner = ScenarioRunner(
+        scale=args.scale, seed=args.seed, orchestrator=orchestrator
+    )
+    mechanisms = default_mechanisms(fast=fast)
     start = time.perf_counter()
-    cells = runner.run(spec)
+    cells = runner.run(spec, mechanisms)
     wall_s = time.perf_counter() - start
     peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     bad = nonfinite_metrics(cells)
 
+    command = (
+        "PYTHONPATH=src python tools/measure_megafleet.py "
+        f"--scale {args.scale} --seed {args.seed} "
+        f"--scenario {args.scenario}"
+    )
+    if args.backend != "vectorized":
+        command += f" --backend {args.backend}"
+    if args.chunk_size is not None:
+        command += f" --chunk-size {args.chunk_size}"
+    if args.precision != "float64":
+        command += f" --precision {args.precision}"
+    if args.fast:
+        command += " --fast"
     config = runner.prepare(spec).config
     payload = {
-        "command": "PYTHONPATH=src python tools/measure_megafleet.py "
-        f"--scale {args.scale} --seed {args.seed}",
+        "command": command,
         "scenario": spec.name,
         "scale": args.scale,
         "seed": args.seed,
+        "backend": args.backend,
+        "chunk_size": args.chunk_size,
+        "dtype": args.precision,
+        "fast": fast,
         "num_clients": config.num_clients,
         "total_samples": config.total_samples,
         "num_rounds": config.num_rounds,
@@ -63,11 +126,13 @@ def main(argv=None) -> int:
             for cell in cells
         ],
     }
+    stem = spec.name.replace("-", "_")
+    suffix = "_fast" if args.fast else ""
     out = (
         Path("benchmarks")
         / "results"
         / "bench"
-        / f"megafleet_train_{args.scale}.json"
+        / f"{stem}_{args.scale}{suffix}.json"
     )
     out.parent.mkdir(parents=True, exist_ok=True)
     save_json(payload, out)
