@@ -1,0 +1,70 @@
+"""Service benchmark: sustained requests/s and per-stage latency.
+
+Runs the ``bench serve`` CLI verb end to end: an in-process
+:class:`~repro.service.PricingServer` on an ephemeral port, a warm-up
+pass over the mixed request batch (pricing across mechanisms and
+economies, an equilibrium, registry/health reads), then concurrent
+keep-alive clients replaying the batch for the scale profile's round
+count. The archived document carries throughput, the per-endpoint
+per-stage p50/p90/p99 from ``GET /v1/metrics``, and the warm-cache
+verdict.
+
+Throughput on the shared single vCPU is *reported*, not asserted (the
+repo-wide bench policy); the warm-cache contract — a repeated pricing
+query is answered without entering the ``solve`` stage — is asserted,
+because it is load-independent (exit code 0 certifies it).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import main as cli_main
+from repro.experiments.configs import resolve_scale
+from repro.observability import STAGES, check_metrics_snapshot
+
+
+def test_bench_serve_verb(bench_results_dir):
+    """Run the CLI verb; exit 0 asserts the warm-cache solve skip."""
+    scale = resolve_scale()
+    exit_code = cli_main(
+        [
+            "--scale", scale.name,
+            "--out", str(bench_results_dir),
+            "bench", "serve",
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(
+        (bench_results_dir / "bench_serve.json").read_text()
+    )
+    assert payload["scale"] == scale.name
+    assert payload["solve_skipped_when_warm"] is True
+    assert payload["requests_per_s"] > 0
+    assert payload["total_requests"] == (
+        payload["clients"] * payload["rounds"] * payload["batch_size"]
+    )
+    # The archived latency table is a contract-conforming snapshot slice:
+    # known stages only, every percentile present.
+    for endpoint, stages in payload["latency"].items():
+        for stage, quantiles in stages.items():
+            assert stage in STAGES, (endpoint, stage)
+            for key in ("p50", "p90", "p99"):
+                assert quantiles[key] >= 0
+    check_metrics_snapshot(
+        {
+            "requests": payload["requests"],
+            "cache": payload["cache"],
+            "latency": payload["latency"],
+        }
+    )
+    assert payload["cache"]["hits"] >= 1
+    price = payload["latency"]["POST /v1/price"]
+    print(
+        f"\nbench serve ({scale.name}): "
+        f"{payload['requests_per_s']:.1f} req/s over "
+        f"{payload['total_requests']} requests "
+        f"({payload['clients']} clients), "
+        f"price cache_lookup p50 "
+        f"{price['cache_lookup']['p50'] * 1e3:.2f}ms"
+    )

@@ -10,39 +10,46 @@ prints the comparison matrix — watch the ``estimator_bias`` column: the
 fixed-subset baseline excludes most of the data distribution and its final
 loss collapses, which is precisely the bias the paper's mechanism removes.
 
+Everything goes through the :mod:`repro.api` facade — the same four
+entry points the CLI verbs and the ``repro.service`` HTTP server sit on
+— rather than hand-constructing runners and mechanism objects. One
+:class:`~repro.api.ApiRuntime` keeps every scenario population warm
+across requests, exactly like a persistent server would.
+
 Run:  python examples/scenario_comparison.py
 """
 
 from __future__ import annotations
 
-from repro.game import build_mechanism
-from repro.scenarios import (
-    ScenarioRunner,
-    get_scenario,
-    nonfinite_metrics,
-    render_scenario_table,
-)
+from repro import api
+from repro.scenarios import nonfinite_metrics, render_scenario_table
+
+MECHANISMS = ("proposed", "uniform", "fixed-subset", "random")
 
 
 def main() -> None:
-    runner = ScenarioRunner(scale="ci", seed=0)
-    mechanisms = [
-        build_mechanism(name)
-        for name in ("proposed", "uniform", "fixed-subset", "random")
-    ]
+    runtime = api.ApiRuntime(scale="ci", seed=0)
 
     print("Training scenarios (paper regime vs correlated flash crowds):")
-    cells = runner.compare(
-        [get_scenario("paper-default"), get_scenario("flash-crowd")],
-        mechanisms,
-    )
+    cells = []
+    for scenario in ("paper-default", "flash-crowd"):
+        response = api.run_scenario(
+            api.ScenarioRunRequest(scenario=scenario, mechanisms=MECHANISMS),
+            runtime,
+        )
+        cells.extend(response.cells)
     print(render_scenario_table(cells, title=""))
 
     print("\nGame layer at fleet scale (10k clients, equilibrium only):")
-    mega_cells = runner.run(get_scenario("megafleet"), mechanisms)
-    print(render_scenario_table(mega_cells, title=""))
+    mega = api.run_scenario(
+        api.ScenarioRunRequest(scenario="megafleet", mechanisms=MECHANISMS),
+        runtime,
+    )
+    print(render_scenario_table(mega.cells, title=""))
+    print(f"(population fingerprint {mega.population_fingerprint[:12]}..., "
+          f"solved in {mega.trace.total_seconds:.2f}s)")
 
-    bad = nonfinite_metrics(cells + mega_cells)
+    bad = nonfinite_metrics(cells + mega.cells)
     assert not bad, f"non-finite metrics: {bad}"
 
     biased = next(c for c in cells if c.mechanism == "fixed-subset")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Incentive-mechanism-as-a-service: a warm server and a stdlib client.
+
+Boots the :mod:`repro.service` pricing server in-process on an ephemeral
+port, then talks to it the way any external tool would — plain HTTP with
+JSON bodies, no client library. The exchange shows the service contract
+end to end:
+
+* every response is a versioned envelope (``schema_version``,
+  ``population_fingerprint``, ``result``, ``trace``),
+* the first pricing query solves the game; the warm repeat is a cache
+  hit whose trace has **no** ``solve`` stage at all, and
+* ``GET /v1/metrics`` aggregates per-endpoint, per-stage latency
+  percentiles across everything the server has answered.
+
+Run:  python examples/service_client.py
+Against a standalone server, start ``python -m repro.experiments serve``
+and point ``call`` at its port instead.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+from repro.api import ApiRuntime
+from repro.service import ServiceApp, make_server
+
+
+def call(port: int, method: str, path: str, body: dict = None) -> dict:
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    runtime = ApiRuntime(scale="ci", seed=0)
+    server = make_server("127.0.0.1", 0, ServiceApp(runtime))
+    port = server.server_address[1]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"pricing service on http://127.0.0.1:{port}")
+
+    health = call(port, "GET", "/v1/health")
+    print(f"health: {health['result']['status']} "
+          f"(version {health['result']['version']}, "
+          f"scale {health['result']['scale']})")
+
+    # Cold query: the server materializes the economy and solves the game.
+    cold = call(port, "POST", "/v1/price",
+                {"scenario": "paper-default", "mechanism": "proposed"})
+    stages = cold["trace"]["stages"]
+    print(f"\ncold price [{cold['schema_version']}] "
+          f"population {cold['population_fingerprint'][:12]}...: "
+          f"cache={cold['trace']['cache']}, "
+          f"solve={stages['solve'] * 1e3:.1f}ms")
+
+    # Warm repeat: a cache hit — the trace has no solve stage at all.
+    warm = call(port, "POST", "/v1/price",
+                {"scenario": "paper-default", "mechanism": "proposed"})
+    print(f"warm price: cache={warm['trace']['cache']}, "
+          f"stages={sorted(warm['trace']['stages'])}")
+    assert "solve" not in warm["trace"]["stages"]
+    assert warm["result"] == cold["result"], "service must be deterministic"
+
+    # The equilibrium endpoint returns the full Stackelberg solution.
+    equilibrium = call(port, "POST", "/v1/equilibrium", {"setup": "setup1"})
+    summary = equilibrium["result"]["summary"]
+    print(f"\nequilibrium(setup1): lambda*={summary['lambda_star']:.4g}, "
+          f"spending={summary['spending']:.2f} "
+          f"(budget tight: {summary['budget_tight']})")
+
+    # Stage-II check: best responses to the posted prices reproduce q*.
+    best = call(port, "POST", "/v1/best-response", {
+        "setup": "setup1",
+        "prices": equilibrium["result"]["equilibrium"]["prices"],
+    })
+    drift = max(
+        abs(a - b)
+        for a, b in zip(
+            best["result"]["q"], equilibrium["result"]["equilibrium"]["q"]
+        )
+    )
+    assert drift < 1e-9, f"best response drifted from q* by {drift}"
+    print("best-response(P*) == q*  (Stage II verified over the wire)")
+
+    metrics = call(port, "GET", "/v1/metrics")["result"]
+    price_latency = metrics["latency"]["POST /v1/price"]
+    print(f"\nmetrics: cache={metrics['cache']}, "
+          f"price cache_lookup p50="
+          f"{price_latency['cache_lookup']['p50'] * 1e3:.2f}ms")
+
+    server.shutdown()
+    server.server_close()
+
+
+if __name__ == "__main__":
+    main()

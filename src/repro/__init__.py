@@ -53,7 +53,10 @@ from repro.theory import ConvergenceBound, ProblemConstants
 # 1.2.0: evaluation chunks at EVAL_CHUNK_SAMPLES client-aligned samples
 # (federations larger than one chunk — paper scale and megafleets — shift
 # by ~1 ulp again); stale result-store entries recompute via the code key.
-__version__ = "1.2.0"
+# 1.3.0: the repro.api facade, the repro.service pricing server, and the
+# versioned repro.schemas envelopes land; API-scoped cache entries (game-only
+# economies, scenario runs) enter the result store under this code key.
+__version__ = "1.3.0"
 
 
 def quickstart_equilibrium(

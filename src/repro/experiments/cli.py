@@ -24,6 +24,13 @@ Verbs and their paper correspondence:
 * ``bench trainer`` — loop vs vectorized local-SGD engine wall-clock on
   the Fig.-4 workload, verifying the backends' bit-identical histories and
   archiving ``benchmarks/results/bench/bench_trainer.json``.
+* ``serve`` — the persistent pricing server (:mod:`repro.service`):
+  scenario populations load once and stay warm, the ``--cache-dir`` store
+  becomes a shared cache tier, and every response carries the
+  observability contract's trace.
+* ``bench serve`` — requests/s and per-stage latency percentiles of the
+  service under a mixed request batch, archiving
+  ``benchmarks/results/bench/bench_serve.json``.
 
 Parallelism and caching apply to every experiment verb (``table``, ``fig``,
 ``equilibrium``): ``--jobs N`` fans independent equilibrium/training jobs
@@ -81,7 +88,6 @@ from repro.experiments.tables import (
     table4_rows,
     table5_rows,
 )
-from repro.game import solve_cpl_game
 from repro.utils.serialization import save_json
 from repro.utils.tables import render_table
 
@@ -253,18 +259,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with 'list': emit a JSON document (drives the CI matrix)",
     )
 
+    serve = add_verb(
+        "serve",
+        help="run the persistent pricing server (repro.service)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8734,
+        help="port to bind (default: 8734; 0 picks an ephemeral port)",
+    )
+
     bench = add_verb(
         "bench",
-        help="benchmark the orchestrator, the trainer backends, or the "
-        "memory-bounded training pipeline",
+        help="benchmark the orchestrator, the trainer backends, the "
+        "memory-bounded training pipeline, or the pricing service",
     )
     bench.add_argument(
-        "target", nargs="?", choices=("orchestrator", "trainer", "memory"),
+        "target", nargs="?",
+        choices=("orchestrator", "trainer", "memory", "serve"),
         default="orchestrator",
         help="orchestrator: serial vs parallel wall-clock on the Fig.-4 "
         "grid; trainer: loop vs vectorized local-SGD engines on the "
         "Fig.-4 workload; memory: eager vs streaming peak RSS on a "
-        "mid-sized fleet (isolated subprocesses)",
+        "mid-sized fleet (isolated subprocesses); serve: requests/s and "
+        "per-stage latency of the pricing service",
     )
     bench.add_argument(
         "--repeats", type=int, default=None,
@@ -355,14 +376,36 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
     return orchestrator
 
 
+def _api_runtime(args):
+    """The warm :class:`~repro.api.ApiRuntime` the global flags describe.
+
+    Built on :func:`_orchestrator`, so ``--cache-dir``/``--jobs``/backend
+    flags reach the facade — and the facade's cache keys match the batch
+    pipeline's, making the store one shared tier across every surface.
+    """
+    from repro import api
+
+    return api.ApiRuntime(
+        scale=args.scale, seed=args.seed, orchestrator=_orchestrator(args)
+    )
+
+
 def _cmd_table(args) -> int:
+    from repro import schemas
+
     prepared = _prepared(args)
     orchestrator = _orchestrator(args)
+    fingerprint = schemas.problem_fingerprint(prepared.problem)
     if args.id == 5:
         rows = table5_rows(prepared, orchestrator=orchestrator)
         print(render_negative_payment_table(rows))
         if args.out:
-            save_json({"rows": rows}, args.out / "table5.json")
+            save_json(
+                schemas.table_rows_doc(
+                    5, rows, population_fingerprint=fingerprint
+                ),
+                args.out / "table5.json",
+            )
         return 0
     comparison = run_pricing_comparison(prepared, orchestrator=orchestrator)
     comparisons = {args.setup: comparison}
@@ -378,7 +421,12 @@ def _cmd_table(args) -> int:
         rows = table4_rows(comparisons)
         print(render_utility_table(rows))
     if args.out:
-        save_json({"rows": rows}, args.out / f"table{args.id}.json")
+        save_json(
+            schemas.table_rows_doc(
+                args.id, rows, population_fingerprint=fingerprint
+            ),
+            args.out / f"table{args.id}.json",
+        )
     return 0
 
 
@@ -395,7 +443,16 @@ def _cmd_fig(args) -> int:
             print(f"{scheme}: final loss {final:.4f} over "
                   f"{curves['times'][-1]:.2f}s")
         if args.out:
-            export_comparison(comparison, args.out, prefix=f"fig4_{args.setup}")
+            from repro import schemas
+
+            export_comparison(
+                comparison,
+                args.out,
+                prefix=f"fig4_{args.setup}",
+                population_fingerprint=schemas.problem_fingerprint(
+                    prepared.problem
+                ),
+            )
         print(_summary_table(comparison))
         return 0
     if args.id == 5:
@@ -439,14 +496,17 @@ def _cmd_fig(args) -> int:
 
 
 def _cmd_equilibrium(args) -> int:
-    prepared = _prepared(args)
-    orchestrator = _orchestrator(args)
-    if orchestrator is None:
-        equilibrium = solve_cpl_game(prepared.problem)
-    else:
-        # Same job key as the "proposed" scheme's solve in table/fig runs,
-        # so a --cache-dir warmed here is reused by them (and vice versa).
-        equilibrium = orchestrator.equilibrium_outcome(prepared).equilibrium
+    from repro import api
+
+    # The facade shares the "proposed" scheme's job key with the batch
+    # pipeline, so a --cache-dir warmed here is reused by table/fig runs,
+    # by the server, and vice versa.
+    runtime = _api_runtime(args)
+    response = api.solve_equilibrium(
+        api.EquilibriumRequest(setup=args.setup), runtime
+    )
+    equilibrium = response.equilibrium
+    prepared = runtime.economy(None, args.setup)[1]
     summary = equilibrium.summary()
     for key, value in summary.items():
         print(f"{key}: {value}")
@@ -470,11 +530,11 @@ def _cmd_equilibrium(args) -> int:
         )
     )
     if args.out:
-        save_json(
-            {"summary": summary, "q": equilibrium.q,
-             "prices": equilibrium.prices},
-            args.out / f"equilibrium_{args.setup}.json",
-        )
+        # The artifact is the service's equilibrium-response/v1 envelope,
+        # minus the trace — files stay deterministic.
+        doc = response.to_doc()
+        doc["trace"] = None
+        save_json(doc, args.out / f"equilibrium_{args.setup}.json")
     return 0
 
 
@@ -486,9 +546,9 @@ def _cmd_scenarios(args) -> int:
     """
     import json
 
-    from repro.game import MECHANISMS, build_mechanism, default_mechanisms
+    from repro import api, schemas
+    from repro.game import MECHANISMS
     from repro.scenarios import (
-        ScenarioRunner,
         export_cells,
         get_scenario,
         list_scenarios,
@@ -501,11 +561,7 @@ def _cmd_scenarios(args) -> int:
         if args.json:
             print(
                 json.dumps(
-                    {
-                        "scenarios": [spec.name for spec in specs],
-                        "mechanisms": sorted(MECHANISMS),
-                        "specs": [spec.to_doc() for spec in specs],
-                    },
+                    schemas.scenario_list_doc(specs, sorted(MECHANISMS)),
                     indent=2,
                     sort_keys=True,
                 )
@@ -544,42 +600,51 @@ def _cmd_scenarios(args) -> int:
             specs = [get_scenario(name) for name in args.name]
         else:
             specs = list_scenarios()
-        if args.mechanisms:
-            mechanisms = [
-                build_mechanism(name.strip())
-                for name in args.mechanisms.split(",")
-                if name.strip()
-            ]
-        elif args.fast:
-            # --fast selects the approximate mechanism suite too, so a
-            # fast scenario run is fast end to end (game and training).
-            mechanisms = default_mechanisms(fast=True)
-        else:
-            mechanisms = None
-    except (KeyError, ValueError) as error:
+    except KeyError as error:
         print(f"scenarios: {error.args[0]}", file=sys.stderr)
         return 2
-    runner = ScenarioRunner(
-        scale=args.scale, seed=args.seed, orchestrator=_orchestrator(args)
-    )
-    if args.action == "run":
-        cells = []
+    mechanisms = None
+    if args.mechanisms:
+        mechanisms = tuple(
+            name.strip()
+            for name in args.mechanisms.split(",")
+            if name.strip()
+        )
+    # Every scenario runs through the repro.api facade — the same path
+    # the service's POST /v1/scenarios/{name}/run serves — against one
+    # warm runtime, so populations prepare once across specs.
+    runtime = _api_runtime(args)
+    cells = []
+    try:
         for spec in specs:
-            scenario_cells = runner.run(
-                spec, mechanisms, repeats=args.repeats
+            response = api.run_scenario(
+                api.ScenarioRunRequest(
+                    scenario=spec.name,
+                    mechanisms=mechanisms,
+                    # --fast selects the approximate mechanism suite too,
+                    # so a fast run is fast end to end (game + training).
+                    fast_suite=bool(args.fast and not mechanisms),
+                    repeats=args.repeats,
+                ),
+                runtime,
             )
-            print(
-                render_scenario_table(
-                    scenario_cells, title=f"Scenario: {spec.name}"
+            if args.action == "run":
+                print(
+                    render_scenario_table(
+                        response.cells, title=f"Scenario: {spec.name}"
+                    )
                 )
-            )
-            if args.out:
-                export_cells(
-                    scenario_cells, args.out, prefix=f"scenario_{spec.name}"
-                )
-            cells.extend(scenario_cells)
-    else:  # compare
-        cells = runner.compare(specs, mechanisms, repeats=args.repeats)
+                if args.out:
+                    export_cells(
+                        response.cells,
+                        args.out,
+                        prefix=f"scenario_{spec.name}",
+                    )
+            cells.extend(response.cells)
+    except api.ApiError as error:
+        print(f"scenarios: {error}", file=sys.stderr)
+        return 2
+    if args.action == "compare":
         print(
             render_scenario_table(
                 cells,
@@ -743,6 +808,209 @@ def _cmd_cache(args) -> int:
         return 0
     print(render_cache_stats(store.stats()))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """``serve`` — run the persistent pricing server until interrupted.
+
+    Scenario populations and paper setups load once into the runtime and
+    stay warm across requests; ``--cache-dir`` plugs the shared
+    content-addressed store in as the cache tier (the same store the
+    batch verbs read and write). Ctrl-C shuts down cleanly with exit
+    code 0.
+    """
+    from repro.service import ServiceApp, make_server
+
+    runtime = _api_runtime(args)
+    server = make_server(args.host, args.port, ServiceApp(runtime))
+    host, port = server.server_address[:2]
+    # Everything from the ready line on sits inside the KeyboardInterrupt
+    # guard: a Ctrl-C that lands between the print and serve_forever()
+    # must exit just as quietly as one that lands mid-serve.
+    try:
+        print(
+            f"repro service listening on http://{host}:{port} "
+            f"(scale {runtime.scale.name}, seed {runtime.seed}, "
+            f"cache {'on' if runtime.store is not None else 'off'})"
+        )
+        sys.stdout.flush()
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+#: The ``bench serve`` mixed request batch: pricing across mechanisms on
+#: warm scenario economies, a setup-pipeline solve, an equilibrium, and
+#: the cheap registry/health reads a dashboard would poll.
+_SERVE_BENCH_BATCH = (
+    ("POST", "/v1/price", {"scenario": "paper-default",
+                           "mechanism": "proposed"}),
+    ("POST", "/v1/price", {"scenario": "paper-default",
+                           "mechanism": "uniform"}),
+    ("POST", "/v1/price", {"scenario": "high-value",
+                           "mechanism": "fixed-subset"}),
+    ("POST", "/v1/price", {"scenario": "budget-crunch",
+                           "mechanism": "random"}),
+    ("POST", "/v1/price", {"setup": "setup1", "mechanism": "proposed"}),
+    ("POST", "/v1/equilibrium", {"scenario": "homogeneous-cheap"}),
+    ("GET", "/v1/scenarios", None),
+    ("GET", "/v1/health", None),
+)
+
+#: Batch repetitions per client thread at each scale.
+_SERVE_BENCH_ROUNDS = {"ci": 4, "bench": 25, "paper": 60}
+
+
+def _cmd_bench_serve(args) -> int:
+    """Benchmark the pricing service: requests/s + per-stage latency.
+
+    Boots an in-process server on an ephemeral port, replays the mixed
+    request batch once to warm the economies and the cache (and verifies
+    a warm request really skips the ``solve`` stage), then measures
+    sustained throughput from concurrent keep-alive clients. Requests/s
+    and the per-endpoint per-stage latency percentiles from
+    ``GET /v1/metrics`` are archived (default:
+    ``benchmarks/results/bench/bench_serve.json`` at the bench scale,
+    ``bench_serve_<scale>.json`` otherwise; ``--out`` overrides the
+    directory).
+    """
+    import http.client
+    import json
+    import threading
+
+    from repro import api
+    from repro.observability import check_metrics_snapshot
+    from repro.service import ServiceApp, make_server
+
+    runtime = api.ApiRuntime(
+        scale=args.scale, seed=args.seed, cache_dir=args.cache_dir
+    )
+    server = make_server("127.0.0.1", 0, ServiceApp(runtime))
+    port = server.server_address[1]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+
+    def call(connection, method, path, body):
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        data = response.read()
+        if response.status != 200:
+            raise RuntimeError(
+                f"bench serve: {method} {path} -> {response.status}: "
+                f"{data[:200]!r}"
+            )
+        return json.loads(data)
+
+    try:
+        warm = http.client.HTTPConnection("127.0.0.1", port)
+        for method, path, body in _SERVE_BENCH_BATCH:
+            call(warm, method, path, body)
+        probe = call(warm, *_SERVE_BENCH_BATCH[0])
+        warm.close()
+        trace = probe["trace"]
+        solve_skipped = (
+            trace["cache"] == "hit" and "solve" not in trace["stages"]
+        )
+        if not solve_skipped:
+            print(
+                "bench serve: warm request did not skip the solve stage",
+                file=sys.stderr,
+            )
+
+        clients = 4
+        rounds = args.repeats or _SERVE_BENCH_ROUNDS[runtime.scale.name]
+        errors = []
+
+        def worker() -> None:
+            connection = http.client.HTTPConnection("127.0.0.1", port)
+            try:
+                for _ in range(rounds):
+                    for method, path, body in _SERVE_BENCH_BATCH:
+                        call(connection, method, path, body)
+            except Exception as error:  # surfaced after the join
+                errors.append(error)
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        total_requests = clients * rounds * len(_SERVE_BENCH_BATCH)
+        requests_per_s = total_requests / wall_s if wall_s > 0 else 0.0
+
+        tail = http.client.HTTPConnection("127.0.0.1", port)
+        snapshot = call(tail, "GET", "/v1/metrics", None)["result"]
+        tail.close()
+        check_metrics_snapshot(snapshot)
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    rows = [
+        [endpoint, stage, quantiles["count"],
+         quantiles["p50"] * 1e3, quantiles["p90"] * 1e3,
+         quantiles["p99"] * 1e3]
+        for endpoint in sorted(snapshot["latency"])
+        for stage, quantiles in sorted(snapshot["latency"][endpoint].items())
+    ]
+    print(
+        render_table(
+            ["endpoint", "stage", "count", "p50 ms", "p90 ms", "p99 ms"],
+            rows,
+            title=(
+                f"Pricing service ({clients} clients x {rounds} rounds x "
+                f"{len(_SERVE_BENCH_BATCH)} requests, scale "
+                f"{runtime.scale.name})"
+            ),
+            float_format=",.3f",
+        )
+    )
+    print(
+        f"throughput: {requests_per_s:,.1f} requests/s "
+        f"({total_requests} requests in {wall_s:,.3f} s)"
+    )
+    print(f"cache: {snapshot['cache']}")
+    print(f"warm requests skip the solve stage: {solve_skipped}")
+    if args.out:
+        out_dir, filename = args.out, "bench_serve.json"
+    else:
+        out_dir = Path("benchmarks") / "results" / "bench"
+        filename = (
+            "bench_serve.json"
+            if runtime.scale.name == "bench"
+            else f"bench_serve_{runtime.scale.name}.json"
+        )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    save_json(
+        {
+            "scale": runtime.scale.name,
+            "seed": args.seed,
+            "clients": clients,
+            "rounds": rounds,
+            "batch_size": len(_SERVE_BENCH_BATCH),
+            "total_requests": total_requests,
+            "wall_s": wall_s,
+            "requests_per_s": requests_per_s,
+            "requests": snapshot["requests"],
+            "cache": snapshot["cache"],
+            "latency": snapshot["latency"],
+            "solve_skipped_when_warm": solve_skipped,
+        },
+        out_dir / filename,
+    )
+    return 0 if solve_skipped else 1
 
 
 def _cmd_bench_trainer(args) -> int:
@@ -1264,11 +1532,15 @@ def _dispatch(args) -> int:
         return _cmd_cache(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "bench":
         if args.target == "trainer":
             return _cmd_bench_trainer(args)
         if args.target == "memory":
             return _cmd_bench_memory(args)
+        if args.target == "serve":
+            return _cmd_bench_serve(args)
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 

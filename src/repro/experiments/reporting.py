@@ -79,14 +79,29 @@ def comparison_summary(comparison: PricingComparison) -> Dict[str, dict]:
 
 
 def export_comparison(
-    comparison: PricingComparison, directory: PathLike, *, prefix: str
+    comparison: PricingComparison,
+    directory: PathLike,
+    *,
+    prefix: str,
+    population_fingerprint: str = None,
 ) -> List[Path]:
-    """Write a comparison's summary JSON and per-scheme curve CSVs."""
+    """Write a comparison's summary JSON and per-scheme curve CSVs.
+
+    The summary JSON is a versioned ``comparison-summary/v1`` envelope
+    (see :mod:`repro.schemas`); pass ``population_fingerprint`` so the
+    artifact names the economy it was computed on.
+    """
+    from repro.schemas import comparison_summary_doc
+
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = [
         save_json(
-            comparison_summary(comparison), directory / f"{prefix}_summary.json"
+            comparison_summary_doc(
+                comparison_summary(comparison),
+                population_fingerprint=population_fingerprint,
+            ),
+            directory / f"{prefix}_summary.json",
         )
     ]
     for name, result in comparison.items():

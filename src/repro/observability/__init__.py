@@ -1,0 +1,31 @@
+"""Observability: the trace/metrics contract behind every service response.
+
+* :mod:`repro.observability.contract` — the stage names, trace shape, and
+  metrics-snapshot shape (pure data + validation).
+* :mod:`repro.observability.tracing` — per-request trace IDs and the
+  stage stopwatch.
+* :mod:`repro.observability.metrics` — thread-safe counters and latency
+  percentiles behind ``GET /v1/metrics``.
+"""
+
+from repro.observability.contract import (
+    PERCENTILES,
+    STAGES,
+    TRACE_FORMAT,
+    ContractError,
+    check_metrics_snapshot,
+    check_trace,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import Trace
+
+__all__ = [
+    "STAGES",
+    "PERCENTILES",
+    "TRACE_FORMAT",
+    "ContractError",
+    "check_trace",
+    "check_metrics_snapshot",
+    "MetricsRegistry",
+    "Trace",
+]

@@ -1,0 +1,122 @@
+"""The observability contract: what every traced request must report.
+
+This module is pure data + validation — the single place where the stage
+names, the trace document shape, and the metrics-snapshot shape are
+defined. :mod:`repro.observability.tracing` produces conforming trace
+documents, :mod:`repro.observability.metrics` aggregates them, and
+:mod:`repro.service` attaches them to every response; tests validate
+against this module rather than against string literals scattered around.
+
+The request lifecycle is modeled as four stages, in order::
+
+    parse -> cache_lookup -> solve -> encode
+
+* ``parse`` — reading and validating the request body into a typed
+  request (service-side only; in-process :mod:`repro.api` calls have
+  nothing to parse).
+* ``cache_lookup`` — computing the cache key and probing the in-memory
+  memo / content-addressed :class:`ResultStore`.
+* ``solve`` — the actual game solve. **Absent on warm-cache requests**:
+  a hit skips the stage entirely, which is how cache effectiveness shows
+  up in the per-stage latency breakdown.
+* ``encode`` — turning the solved objects into the versioned ``result``
+  payload.
+
+A stage that did not run is *omitted* from ``stages`` (never reported as
+``0.0``), so "did the cache save the solve?" is a key-presence check.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: The request lifecycle stages, in execution order.
+STAGES = ("parse", "cache_lookup", "solve", "encode")
+
+#: Version tag carried by every trace document.
+TRACE_FORMAT = "trace/v1"
+
+#: Latency percentiles the metrics snapshot reports per endpoint stage.
+PERCENTILES = (50, 90, 99)
+
+
+class ContractError(ValueError):
+    """A trace or metrics document violates the observability contract."""
+
+
+def check_trace(doc: Any) -> dict:
+    """Validate a trace document; returns ``doc`` or raises
+    :class:`ContractError` naming the first violation."""
+    if not isinstance(doc, dict):
+        raise ContractError(
+            f"trace must be a dict, got {type(doc).__name__}"
+        )
+    if doc.get("format") != TRACE_FORMAT:
+        raise ContractError(
+            f"trace format must be {TRACE_FORMAT!r}, got "
+            f"{doc.get('format')!r}"
+        )
+    trace_id = doc.get("trace_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        raise ContractError("trace_id must be a non-empty string")
+    stages = doc.get("stages")
+    if not isinstance(stages, dict):
+        raise ContractError("trace stages must be a dict")
+    for name, seconds in stages.items():
+        if name not in STAGES:
+            raise ContractError(
+                f"unknown stage {name!r}; stages are {STAGES}"
+            )
+        if not isinstance(seconds, (int, float)) or seconds < 0:
+            raise ContractError(
+                f"stage {name!r} must report non-negative seconds, got "
+                f"{seconds!r}"
+            )
+    if doc.get("cache") not in (None, "hit", "miss"):
+        raise ContractError(
+            f"trace cache must be 'hit', 'miss', or null, got "
+            f"{doc.get('cache')!r}"
+        )
+    return doc
+
+
+def check_metrics_snapshot(doc: Any) -> dict:
+    """Validate the ``result`` of a ``metrics-snapshot/v1`` envelope."""
+    if not isinstance(doc, dict):
+        raise ContractError(
+            f"metrics snapshot must be a dict, got {type(doc).__name__}"
+        )
+    for field in ("requests", "cache", "latency"):
+        if field not in doc:
+            raise ContractError(f"metrics snapshot is missing {field!r}")
+    for endpoint, by_status in doc["requests"].items():
+        if not isinstance(by_status, dict):
+            raise ContractError(
+                f"requests[{endpoint!r}] must map status -> count"
+            )
+        for status, count in by_status.items():
+            if not isinstance(count, int) or count < 0:
+                raise ContractError(
+                    f"requests[{endpoint!r}][{status!r}] must be a "
+                    f"non-negative int, got {count!r}"
+                )
+    cache = doc["cache"]
+    for field in ("hits", "misses"):
+        if not isinstance(cache.get(field), int) or cache[field] < 0:
+            raise ContractError(
+                f"cache.{field} must be a non-negative int"
+            )
+    for endpoint, stages in doc["latency"].items():
+        for stage, quantiles in stages.items():
+            if stage not in STAGES:
+                raise ContractError(
+                    f"latency[{endpoint!r}] reports unknown stage "
+                    f"{stage!r}"
+                )
+            for percentile in PERCENTILES:
+                if f"p{percentile}" not in quantiles:
+                    raise ContractError(
+                        f"latency[{endpoint!r}][{stage!r}] is missing "
+                        f"p{percentile}"
+                    )
+    return doc

@@ -1,0 +1,86 @@
+"""Thread-safe request counters and per-stage latency aggregation.
+
+One :class:`MetricsRegistry` per server (or per
+:class:`~repro.api.ApiRuntime`) accumulates, under a single lock:
+
+* request counts per ``(endpoint, status)``,
+* cache hits/misses, and
+* bounded per-``(endpoint, stage)`` latency reservoirs, reported as
+  p50/p90/p99 in :meth:`MetricsRegistry.snapshot`.
+
+The snapshot is the ``result`` of the ``GET /v1/metrics`` endpoint's
+``metrics-snapshot/v1`` envelope and conforms to
+:func:`repro.observability.contract.check_metrics_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.observability.contract import PERCENTILES
+from repro.observability.tracing import Trace
+
+#: Samples kept per (endpoint, stage); old samples age out, so percentiles
+#: track recent behavior on long-lived servers instead of the whole life.
+RESERVOIR_SIZE = 1024
+
+
+def _percentile(samples: Tuple[float, ...], percentile: int) -> float:
+    """Nearest-rank percentile of a non-empty sample tuple."""
+    ordered = sorted(samples)
+    rank = max(
+        0, min(len(ordered) - 1, round(percentile / 100 * len(ordered)) - 1)
+    )
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Accumulates the observability contract's counters and latencies."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._cache = {"hits": 0, "misses": 0}
+        self._latency: Dict[Tuple[str, str], Deque[float]] = defaultdict(
+            lambda: deque(maxlen=RESERVOIR_SIZE)
+        )
+
+    def observe(
+        self, endpoint: str, status: int, trace: Optional[Trace] = None
+    ) -> None:
+        """Record one completed request (and its trace, when present)."""
+        with self._lock:
+            self._requests[endpoint][str(int(status))] += 1
+            if trace is not None:
+                if trace.cache == "hit":
+                    self._cache["hits"] += 1
+                elif trace.cache == "miss":
+                    self._cache["misses"] += 1
+                for stage, seconds in trace.stages.items():
+                    self._latency[(endpoint, stage)].append(float(seconds))
+
+    def snapshot(self) -> dict:
+        """The contract-conforming snapshot document (deep-copied)."""
+        with self._lock:
+            requests = {
+                endpoint: dict(by_status)
+                for endpoint, by_status in self._requests.items()
+            }
+            cache = dict(self._cache)
+            latency: Dict[str, Dict[str, dict]] = {}
+            for (endpoint, stage), samples in self._latency.items():
+                if not samples:
+                    continue
+                frozen = tuple(samples)
+                latency.setdefault(endpoint, {})[stage] = {
+                    "count": len(frozen),
+                    **{
+                        f"p{percentile}": _percentile(frozen, percentile)
+                        for percentile in PERCENTILES
+                    },
+                }
+        return {"requests": requests, "cache": cache, "latency": latency}

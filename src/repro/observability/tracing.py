@@ -1,0 +1,74 @@
+"""Per-request tracing: IDs and a stage stopwatch.
+
+A :class:`Trace` follows one request through the
+``parse -> cache_lookup -> solve -> encode`` lifecycle defined by
+:mod:`repro.observability.contract`, timing each stage it actually
+executes. Stages that never run are simply absent from the document — a
+warm-cache request has no ``solve`` entry at all, which is the visible
+form of "the cache skipped the solve".
+
+Traces are cheap (a uuid and a few ``perf_counter`` reads) and carry no
+determinism hazard: they live in the envelope's ``trace`` field, outside
+the bytes the bit-identity contract compares.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.observability.contract import STAGES, TRACE_FORMAT
+
+
+class Trace:
+    """One request's identity and per-stage latency ledger.
+
+    Args:
+        trace_id: Externally supplied ID (a client header, a test's pinned
+            value); a fresh ``uuid4`` hex when omitted.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None):
+        self.trace_id = trace_id or uuid.uuid4().hex
+        self.stages: Dict[str, float] = {}
+        self.cache: Optional[str] = None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one lifecycle stage; re-entering a stage accumulates.
+
+        Unknown stage names are rejected immediately — a typo here would
+        otherwise surface only when a consumer validates the document.
+        """
+        if name not in STAGES:
+            raise ValueError(f"unknown stage {name!r}; stages are {STAGES}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+
+    def mark_cache(self, hit: bool) -> None:
+        """Record the cache outcome (``"hit"`` or ``"miss"``)."""
+        self.cache = "hit" if hit else "miss"
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded stage durations."""
+        return sum(self.stages.values())
+
+    def to_doc(self) -> dict:
+        """The ``trace/v1`` document carried in response envelopes."""
+        return {
+            "format": TRACE_FORMAT,
+            "trace_id": self.trace_id,
+            "stages": {
+                name: self.stages[name]
+                for name in STAGES
+                if name in self.stages
+            },
+            "cache": self.cache,
+        }

@@ -31,6 +31,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.reporting import (
     METRIC_COLUMNS,
     cells_doc,
+    cells_from_doc,
     comparison_rows,
     export_cells,
     render_scenario_table,
@@ -61,6 +62,7 @@ __all__ = [
     "render_scenario_table",
     "comparison_rows",
     "cells_doc",
+    "cells_from_doc",
     "export_cells",
     "METRIC_COLUMNS",
 ]

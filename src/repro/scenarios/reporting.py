@@ -57,20 +57,23 @@ def render_scenario_table(
 
 
 def cells_doc(cells: Sequence[ScenarioCell]) -> dict:
-    """JSON-serializable comparison document (the CI artifact payload)."""
-    return {
-        "format": "scenario-comparison/v1",
-        "cells": [
-            {
-                "scenario": cell.scenario,
-                "mechanism": cell.mechanism,
-                "metrics": dict(cell.metrics),
-                "q": cell.outcome.q.tolist(),
-                "prices": cell.outcome.prices.tolist(),
-            }
-            for cell in cells
-        ],
-    }
+    """The versioned ``scenario-run/v1`` envelope for these cells.
+
+    Delegates to :func:`repro.schemas.scenario_cells_doc`, so the CLI
+    artifact, the CI upload, and the service's scenario-run responses all
+    share one codec — and :func:`cells_from_doc` rebuilds the cells
+    (history-free) from any of them.
+    """
+    from repro.schemas import scenario_cells_doc
+
+    return scenario_cells_doc(cells)
+
+
+def cells_from_doc(doc: dict) -> List[ScenarioCell]:
+    """Decode a ``scenario-run/v1`` envelope back to history-free cells."""
+    from repro.schemas import scenario_cells_from_doc
+
+    return scenario_cells_from_doc(doc)
 
 
 def export_cells(

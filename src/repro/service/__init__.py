@@ -1,0 +1,24 @@
+"""Incentive-mechanism-as-a-service: a persistent pricing server.
+
+The service keeps scenario populations warm across requests and
+multiplexes the content-addressed result store as its cache tier, so
+repeated pricing queries cost a cache probe instead of a solve — and the
+per-stage latency breakdown in every response shows it.
+
+* :mod:`repro.service.app` — transport-independent routing + the
+  observability contract (drive it in-process in tests).
+* :mod:`repro.service.http` — the stdlib ``ThreadingHTTPServer`` shim.
+
+Start one from the CLI (``python -m repro.experiments serve``) or
+programmatically::
+
+    from repro.service import ServiceApp, make_server
+
+    server = make_server("127.0.0.1", 0, ServiceApp())
+    server.serve_forever()          # ctrl-C to stop
+"""
+
+from repro.service.app import ROUTES, ServiceApp
+from repro.service.http import PricingServer, make_server
+
+__all__ = ["ROUTES", "ServiceApp", "PricingServer", "make_server"]

@@ -1,0 +1,291 @@
+"""Transport-independent request handling for the pricing service.
+
+:class:`ServiceApp` maps ``(method, path, body)`` to ``(status, envelope
+document)`` — no sockets anywhere, so tests can drive the full routing /
+validation / observability stack in-process, and
+:mod:`repro.service.http` stays a thin socket shim.
+
+Routes (all responses are versioned :mod:`repro.schemas` envelopes):
+
+=========================================  =================================
+``GET /v1/health``                         liveness + version + warm scale
+``GET /v1/scenarios``                      the scenario registry
+``GET /v1/metrics``                        observability snapshot
+``POST /v1/price``                         :func:`repro.api.price`
+``POST /v1/best-response``                 :func:`repro.api.best_response`
+``POST /v1/equilibrium``                   :func:`repro.api.solve_equilibrium`
+``POST /v1/scenarios/{name}/run``          :func:`repro.api.run_scenario`
+=========================================  =================================
+
+Request bodies are strict JSON objects; unknown fields are a 400 (a
+misspelled ``mecanism`` must not silently price with the default). Every
+request — including failures — is observed in the runtime's
+:class:`~repro.observability.MetricsRegistry` under its route label and
+emitted as one structured (JSON) log line.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Dict, Optional, Tuple
+
+import repro
+from repro import api, schemas
+from repro.observability import Trace
+
+#: Route labels used for metrics aggregation and logging; parameterized
+#: paths collapse onto one label so per-endpoint percentiles make sense.
+ROUTES = (
+    "GET /v1/health",
+    "GET /v1/scenarios",
+    "GET /v1/metrics",
+    "POST /v1/price",
+    "POST /v1/best-response",
+    "POST /v1/equilibrium",
+    "POST /v1/scenarios/{name}/run",
+)
+
+_LOGGER = logging.getLogger("repro.service")
+
+
+def _body_fields(
+    body: bytes, allowed: Tuple[str, ...]
+) -> Dict[str, Any]:
+    """Parse a strict-JSON-object request body, rejecting unknown keys."""
+    if not body:
+        return {}
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise api.ApiError(f"request body is not valid JSON: {error}")
+    if not isinstance(payload, dict):
+        raise api.ApiError(
+            f"request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise api.ApiError(
+            f"unknown request fields {unknown}; allowed: {sorted(allowed)}"
+        )
+    return payload
+
+
+class ServiceApp:
+    """The service's request handler: routes onto the :mod:`repro.api`
+    facade and wraps every answer in the observability contract.
+
+    Args:
+        runtime: The warm :class:`~repro.api.ApiRuntime` to serve from
+            (default: a fresh one at the environment scale). Its metrics
+            registry backs ``GET /v1/metrics``.
+        logger: Structured-request-log destination (default:
+            ``repro.service``).
+    """
+
+    def __init__(
+        self,
+        runtime: Optional[api.ApiRuntime] = None,
+        *,
+        logger: Optional[logging.Logger] = None,
+    ):
+        self.runtime = runtime or api.ApiRuntime()
+        self.metrics = self.runtime.metrics
+        self.logger = logger or _LOGGER
+
+    def handle(
+        self, method: str, path: str, body: bytes = b""
+    ) -> Tuple[int, dict]:
+        """Serve one request; never raises.
+
+        Returns ``(http status, envelope document)``. Failures come back
+        as ``error/v1`` envelopes (400 malformed, 404 unknown resource,
+        405 wrong method, 500 unexpected), and every outcome is counted
+        in the metrics registry and logged.
+        """
+        started = time.perf_counter()
+        endpoint, handler = self._route(method, path)
+        trace = Trace()
+        try:
+            if handler is None:
+                if method not in ("GET", "POST"):
+                    raise api.ApiError(
+                        f"method {method} not supported", status=405
+                    )
+                raise api.ApiError(f"no such endpoint: {path}", status=404)
+            status, doc = handler(path, body, trace)
+        except api.ApiError as error:
+            status = error.status
+            doc = schemas.error_doc(status, str(error), trace=trace.to_doc())
+        except Exception:  # the server must answer, whatever broke
+            self.logger.exception("unhandled error serving %s %s",
+                                  method, path)
+            status = 500
+            doc = schemas.error_doc(
+                500, "internal error (see server log)",
+                trace=trace.to_doc(),
+            )
+        self.metrics.observe(endpoint, status, trace)
+        self.logger.info(
+            "%s",
+            json.dumps(
+                {
+                    "event": "request",
+                    "endpoint": endpoint,
+                    "method": method,
+                    "path": path,
+                    "status": status,
+                    "trace_id": trace.trace_id,
+                    "cache": trace.cache,
+                    "duration_s": round(time.perf_counter() - started, 6),
+                },
+                sort_keys=True,
+            ),
+        )
+        return status, doc
+
+    # Routing -----------------------------------------------------------------
+
+    def _route(self, method: str, path: str):
+        """Map a request line onto ``(route label, handler or None)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        fixed = {
+            ("GET", "/v1/health"): ("GET /v1/health", self._health),
+            ("GET", "/v1/scenarios"): (
+                "GET /v1/scenarios", self._scenarios),
+            ("GET", "/v1/metrics"): ("GET /v1/metrics", self._metrics),
+            ("POST", "/v1/price"): ("POST /v1/price", self._price),
+            ("POST", "/v1/best-response"): (
+                "POST /v1/best-response", self._best_response),
+            ("POST", "/v1/equilibrium"): (
+                "POST /v1/equilibrium", self._equilibrium),
+        }
+        if (method, path) in fixed:
+            return fixed[(method, path)]
+        parts = path.strip("/").split("/")
+        if (
+            method == "POST"
+            and len(parts) == 4
+            and parts[0] == "v1"
+            and parts[1] == "scenarios"
+            and parts[3] == "run"
+        ):
+            return "POST /v1/scenarios/{name}/run", self._scenario_run
+        # Wrong-method hits on known paths are 405, not 404.
+        for (known_method, known_path), (label, _) in fixed.items():
+            if path == known_path and method != known_method:
+                return label, self._method_not_allowed(known_method)
+        return f"{method} {path}", None
+
+    @staticmethod
+    def _method_not_allowed(expected: str):
+        def handler(path: str, body: bytes, trace: Trace):
+            raise api.ApiError(
+                f"method not allowed; use {expected}", status=405
+            )
+
+        return handler
+
+    # GET endpoints -----------------------------------------------------------
+
+    def _health(self, path: str, body: bytes, trace: Trace):
+        return 200, schemas.envelope(
+            "health",
+            {
+                "status": "ok",
+                "version": repro.__version__,
+                "scale": self.runtime.scale.name,
+                "seed": self.runtime.seed,
+            },
+            trace=trace.to_doc(),
+        )
+
+    def _scenarios(self, path: str, body: bytes, trace: Trace):
+        from repro.game import MECHANISMS
+        from repro.scenarios import list_scenarios
+
+        with trace.stage("encode"):
+            doc = schemas.scenario_list_doc(
+                list_scenarios(), sorted(MECHANISMS)
+            )
+        doc["trace"] = trace.to_doc()
+        return 200, doc
+
+    def _metrics(self, path: str, body: bytes, trace: Trace):
+        # Snapshot excludes this in-flight request (observed on return).
+        return 200, schemas.metrics_snapshot_doc(self.metrics.snapshot())
+
+    # POST endpoints ----------------------------------------------------------
+
+    def _price(self, path: str, body: bytes, trace: Trace):
+        with trace.stage("parse"):
+            fields = _body_fields(
+                body, ("scenario", "setup", "mechanism", "method")
+            )
+            request = api.PriceRequest(
+                scenario=fields.get("scenario"),
+                setup=fields.get("setup"),
+                mechanism=fields.get("mechanism", "proposed"),
+                method=fields.get("method"),
+            )
+        response = api.price(request, self.runtime, trace=trace)
+        return 200, response.to_doc()
+
+    def _best_response(self, path: str, body: bytes, trace: Trace):
+        with trace.stage("parse"):
+            fields = _body_fields(body, ("scenario", "setup", "prices"))
+            prices = fields.get("prices")
+            if not isinstance(prices, (list, tuple)) or not all(
+                isinstance(p, (int, float)) for p in prices
+            ):
+                raise api.ApiError(
+                    "'prices' must be a list of numbers, one per client"
+                )
+            request = api.BestResponseRequest(
+                prices=tuple(prices),
+                scenario=fields.get("scenario"),
+                setup=fields.get("setup"),
+            )
+        response = api.best_response(request, self.runtime, trace=trace)
+        return 200, response.to_doc()
+
+    def _equilibrium(self, path: str, body: bytes, trace: Trace):
+        with trace.stage("parse"):
+            fields = _body_fields(body, ("scenario", "setup", "method"))
+            request = api.EquilibriumRequest(
+                scenario=fields.get("scenario"),
+                setup=fields.get("setup"),
+                method=fields.get("method", "kkt"),
+            )
+        response = api.solve_equilibrium(request, self.runtime, trace=trace)
+        return 200, response.to_doc()
+
+    def _scenario_run(self, path: str, body: bytes, trace: Trace):
+        name = path.strip("/").split("/")[2]
+        with trace.stage("parse"):
+            fields = _body_fields(
+                body, ("mechanisms", "fast_suite", "repeats")
+            )
+            mechanisms = fields.get("mechanisms")
+            if mechanisms is not None and (
+                not isinstance(mechanisms, (list, tuple))
+                or not all(isinstance(m, str) for m in mechanisms)
+            ):
+                raise api.ApiError(
+                    "'mechanisms' must be a list of mechanism names"
+                )
+            repeats = fields.get("repeats")
+            if repeats is not None and not isinstance(repeats, int):
+                raise api.ApiError("'repeats' must be an integer")
+            request = api.ScenarioRunRequest(
+                scenario=name,
+                mechanisms=(
+                    None if mechanisms is None else tuple(mechanisms)
+                ),
+                fast_suite=bool(fields.get("fast_suite", False)),
+                repeats=repeats,
+            )
+        response = api.run_scenario(request, self.runtime, trace=trace)
+        return 200, response.to_doc()

@@ -1,0 +1,74 @@
+"""The socket shim: a stdlib ``ThreadingHTTPServer`` over
+:class:`~repro.service.app.ServiceApp`.
+
+Everything interesting (routing, validation, observability) lives in the
+app layer; this module only moves bytes. ``HTTP/1.1`` with explicit
+``Content-Length`` keeps client connections alive across requests, which
+is what makes the warm-cache latency visible instead of being drowned in
+per-request TCP setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import repro
+from repro.service.app import ServiceApp
+
+_LOGGER = logging.getLogger("repro.service.http")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-service/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        status, doc = self.server.app.handle(self.command, self.path, body)
+        data = json.dumps(doc, sort_keys=True).encode("utf-8") + b"\n"
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response; nothing to answer.
+            self.close_connection = True
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_PUT = _dispatch
+    do_DELETE = _dispatch
+
+    def log_message(self, format: str, *args) -> None:
+        # The app layer emits one structured line per request; the
+        # default stderr access log would duplicate it.
+        _LOGGER.debug("%s - %s", self.address_string(), format % args)
+
+
+class PricingServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`ServiceApp`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], app: ServiceApp):
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    app: Optional[ServiceApp] = None,
+) -> PricingServer:
+    """Build (but do not start) a pricing server.
+
+    ``port=0`` binds an ephemeral port — read the realized one back from
+    ``server.server_address[1]`` (tests and ``bench serve`` do this).
+    """
+    return PricingServer((host, port), app or ServiceApp())

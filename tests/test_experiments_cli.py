@@ -28,8 +28,15 @@ class TestEquilibriumCommand:
         payload = json.loads(
             (tmp_path / "equilibrium_setup1.json").read_text()
         )
-        assert "summary" in payload
-        assert len(payload["q"]) == len(payload["prices"])
+        from repro.schemas import check_envelope
+
+        check_envelope(payload, "equilibrium-response")
+        assert payload["population_fingerprint"]
+        assert payload["trace"] is None  # file artifacts are deterministic
+        result = payload["result"]
+        assert "summary" in result
+        equilibrium = result["equilibrium"]
+        assert len(equilibrium["q"]) == len(equilibrium["prices"])
 
 
 class TestTableCommand:
@@ -40,7 +47,10 @@ class TestTableCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "Negative-payment clients" in out
-        rows = json.loads((tmp_path / "table5.json").read_text())["rows"]
+        payload = json.loads((tmp_path / "table5.json").read_text())
+        assert payload["schema_version"] == "table-rows/v1"
+        assert payload["population_fingerprint"]
+        rows = payload["result"]["rows"]
         assert len(rows) == 3
 
     def test_table2_with_training(self, capsys):

@@ -1,0 +1,222 @@
+"""The observability contract: traces, metrics, and their validators.
+
+These are the pure-unit halves of the service's observability story: a
+:class:`~repro.observability.Trace` must emit contract-conforming
+documents where absent stages are *omitted* (never 0.0 — "did the cache
+skip the solve?" is a key-presence check), and a
+:class:`~repro.observability.MetricsRegistry` must aggregate traces into
+the ``metrics-snapshot/v1`` shape under concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    PERCENTILES,
+    STAGES,
+    ContractError,
+    MetricsRegistry,
+    Trace,
+    check_metrics_snapshot,
+    check_trace,
+)
+from repro.observability.metrics import RESERVOIR_SIZE, _percentile
+
+
+class TestTrace:
+    def test_document_conforms_and_omits_unrun_stages(self):
+        trace = Trace()
+        with trace.stage("parse"):
+            pass
+        with trace.stage("encode"):
+            pass
+        doc = check_trace(trace.to_doc())
+        assert set(doc["stages"]) == {"parse", "encode"}
+        assert "solve" not in doc["stages"]
+        assert doc["cache"] is None
+
+    def test_stage_order_is_canonical(self):
+        trace = Trace()
+        # Enter out of order; the document still lists execution order.
+        with trace.stage("encode"):
+            pass
+        with trace.stage("parse"):
+            pass
+        assert list(trace.to_doc()["stages"]) == ["parse", "encode"]
+
+    def test_reentering_a_stage_accumulates(self):
+        trace = Trace()
+        with trace.stage("solve"):
+            pass
+        first = trace.stages["solve"]
+        with trace.stage("solve"):
+            pass
+        assert trace.stages["solve"] > first
+
+    def test_unknown_stage_rejected_immediately(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            with Trace().stage("teardown"):
+                pass
+
+    def test_stage_recorded_even_when_the_body_raises(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.stage("solve"):
+                raise RuntimeError("solver blew up")
+        assert "solve" in trace.stages
+
+    def test_mark_cache_and_total(self):
+        trace = Trace(trace_id="pinned")
+        trace.mark_cache(True)
+        assert trace.to_doc()["cache"] == "hit"
+        trace.mark_cache(False)
+        assert trace.to_doc()["cache"] == "miss"
+        assert trace.to_doc()["trace_id"] == "pinned"
+        with trace.stage("encode"):
+            pass
+        assert trace.total_seconds == pytest.approx(
+            sum(trace.stages.values())
+        )
+
+    def test_fresh_ids_are_unique(self):
+        assert Trace().trace_id != Trace().trace_id
+
+
+class TestCheckTrace:
+    @pytest.mark.parametrize(
+        "doc, message",
+        [
+            ("nope", "must be a dict"),
+            ({"format": "trace/v2"}, "format"),
+            (
+                {"format": "trace/v1", "trace_id": "",
+                 "stages": {}, "cache": None},
+                "trace_id",
+            ),
+            (
+                {"format": "trace/v1", "trace_id": "t",
+                 "stages": [], "cache": None},
+                "stages must be a dict",
+            ),
+            (
+                {"format": "trace/v1", "trace_id": "t",
+                 "stages": {"teardown": 0.1}, "cache": None},
+                "unknown stage",
+            ),
+            (
+                {"format": "trace/v1", "trace_id": "t",
+                 "stages": {"solve": -1.0}, "cache": None},
+                "non-negative",
+            ),
+            (
+                {"format": "trace/v1", "trace_id": "t",
+                 "stages": {}, "cache": "warm"},
+                "cache",
+            ),
+        ],
+    )
+    def test_rejections(self, doc, message):
+        with pytest.raises(ContractError, match=message):
+            check_trace(doc)
+
+
+class TestMetricsRegistry:
+    def test_snapshot_conforms(self):
+        registry = MetricsRegistry()
+        trace = Trace()
+        with trace.stage("solve"):
+            pass
+        trace.mark_cache(False)
+        registry.observe("POST /v1/price", 200, trace)
+        registry.observe("POST /v1/price", 400)
+        snapshot = check_metrics_snapshot(registry.snapshot())
+        assert snapshot["requests"]["POST /v1/price"] == {
+            "200": 1, "400": 1,
+        }
+        assert snapshot["cache"] == {"hits": 0, "misses": 1}
+        quantiles = snapshot["latency"]["POST /v1/price"]["solve"]
+        assert quantiles["count"] == 1
+        for percentile in PERCENTILES:
+            assert quantiles[f"p{percentile}"] >= 0
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        registry.observe("GET /v1/health", 200)
+        snapshot = registry.snapshot()
+        snapshot["requests"]["GET /v1/health"]["200"] = 999
+        assert registry.snapshot()["requests"]["GET /v1/health"] == {
+            "200": 1,
+        }
+
+    def test_reservoir_is_bounded(self):
+        registry = MetricsRegistry()
+        for _ in range(RESERVOIR_SIZE + 50):
+            trace = Trace()
+            with trace.stage("encode"):
+                pass
+            registry.observe("GET /v1/scenarios", 200, trace)
+        latency = registry.snapshot()["latency"]["GET /v1/scenarios"]
+        assert latency["encode"]["count"] == RESERVOIR_SIZE
+
+    def test_concurrent_observation_is_consistent(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(100):
+                trace = Trace()
+                trace.mark_cache(True)
+                registry.observe("POST /v1/price", 200, trace)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["requests"]["POST /v1/price"]["200"] == 800
+        assert snapshot["cache"]["hits"] == 800
+
+    def test_percentile_nearest_rank(self):
+        samples = tuple(float(v) for v in range(1, 101))
+        assert _percentile(samples, 50) == 50.0
+        assert _percentile(samples, 90) == 90.0
+        assert _percentile(samples, 99) == 99.0
+        assert _percentile((7.0,), 99) == 7.0
+
+
+class TestCheckMetricsSnapshot:
+    @pytest.mark.parametrize(
+        "doc, message",
+        [
+            (None, "must be a dict"),
+            ({"requests": {}, "cache": {}}, "missing 'latency'"),
+            (
+                {"requests": {"e": {"200": -1}},
+                 "cache": {"hits": 0, "misses": 0}, "latency": {}},
+                "non-negative",
+            ),
+            (
+                {"requests": {}, "cache": {"hits": 0}, "latency": {}},
+                "misses",
+            ),
+            (
+                {"requests": {}, "cache": {"hits": 0, "misses": 0},
+                 "latency": {"e": {"teardown": {}}}},
+                "unknown stage",
+            ),
+            (
+                {"requests": {}, "cache": {"hits": 0, "misses": 0},
+                 "latency": {"e": {"solve": {"p50": 0.1}}}},
+                "missing p90",
+            ),
+        ],
+    )
+    def test_rejections(self, doc, message):
+        with pytest.raises(ContractError, match=message):
+            check_metrics_snapshot(doc)
+
+    def test_stage_names_are_the_contract(self):
+        assert STAGES == ("parse", "cache_lookup", "solve", "encode")

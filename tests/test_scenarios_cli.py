@@ -22,16 +22,20 @@ class TestList:
             assert spec.name in out
 
     def test_json_drives_the_ci_matrix(self, capsys):
+        from repro.schemas import check_envelope
+
         assert main(["scenarios", "list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload["scenarios"]) >= 6
-        assert "paper-default" in payload["scenarios"]
-        assert "proposed" in payload["mechanisms"]
+        check_envelope(payload, "scenario-list")
+        result = payload["result"]
+        assert len(result["scenarios"]) >= 6
+        assert "paper-default" in result["scenarios"]
+        assert "proposed" in result["mechanisms"]
         # The embedded specs round-trip, so consumers can rebuild them.
         from repro.scenarios import ScenarioSpec
 
-        rebuilt = [ScenarioSpec.from_doc(doc) for doc in payload["specs"]]
-        assert [spec.name for spec in rebuilt] == payload["scenarios"]
+        rebuilt = [ScenarioSpec.from_doc(doc) for doc in result["specs"]]
+        assert [spec.name for spec in rebuilt] == result["scenarios"]
 
 
 class TestRun:
@@ -55,7 +59,11 @@ class TestRun:
         payload = json.loads(
             (tmp_path / "scenario_paper-default.json").read_text()
         )
-        assert {cell["mechanism"] for cell in payload["cells"]} == {
+        from repro.schemas import check_envelope
+
+        check_envelope(payload, "scenario-run")
+        cells = payload["result"]["cells"]
+        assert {cell["mechanism"] for cell in cells} == {
             "proposed",
             "random",
         }
@@ -113,4 +121,14 @@ class TestCompare:
         payload = json.loads(
             (tmp_path / "scenario_comparison.json").read_text()
         )
-        assert len(payload["cells"]) == 4
+        assert len(payload["result"]["cells"]) == 4
+        # Artifacts round-trip through the versioned codec.
+        from repro.scenarios import cells_from_doc
+
+        rebuilt = cells_from_doc(payload)
+        assert [(cell.scenario, cell.mechanism) for cell in rebuilt] == [
+            ("paper-default", "proposed"),
+            ("paper-default", "fixed-subset"),
+            ("budget-crunch", "proposed"),
+            ("budget-crunch", "fixed-subset"),
+        ]
