@@ -1,0 +1,230 @@
+"""Declarative algorithm specs: *which* local-update rule trains a round.
+
+An :class:`AlgorithmSpec` is the frozen, JSON-round-trippable description
+of the client-side optimization rule, exactly as
+:class:`~repro.fl.participation.ParticipationSpec` describes the
+participation process. The spec is what travels: through
+:class:`~repro.scenarios.spec.ScenarioSpec` docs and fingerprints (only
+at non-default values, so every pre-existing fingerprint stays
+byte-stable), through :class:`~repro.experiments.orchestrator.TrainJob`
+cache keys (the algorithm *is* key-relevant — a FedProx history must
+never be served from a FedAvg-warmed store), and through trainer
+checkpoints (a resume under a different algorithm raises, like a
+precision mismatch does).
+
+Four kinds::
+
+    fedavg                      plain local SGD (the paper's Algorithm 1)
+    fedprox:mu=0.01             + mu/2 ||w - w_global||^2 proximal term
+    feddyn:alpha=0.01           + dynamic regularizer with per-client state
+    server_momentum:beta=0.9    plain local SGD + server-side momentum
+
+``beta`` composes: ``fedprox:mu=0.05,beta=0.9`` runs FedProx locally and
+momentum on the server. ``fedavg`` with ``beta > 0`` is *spelled*
+``server_momentum`` — one canonical spelling per rule keeps cache keys
+unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: Local-update rules the trainer can run.
+ALGORITHM_KINDS = ("fedavg", "fedprox", "feddyn", "server_momentum")
+
+#: Parameter defaults applied when a CLI string names a kind bare
+#: (``--algorithm fedprox`` means ``fedprox:mu=0.01``). FedProx's mu and
+#: FedDyn's alpha follow the reference implementations' 1e-2; beta is the
+#: conventional server-momentum coefficient.
+PARAM_DEFAULTS = {"mu": 0.01, "alpha": 0.01, "beta": 0.9}
+
+_PARAM_NAMES = ("mu", "alpha", "beta")
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Frozen description of one local-update rule.
+
+    Attributes:
+        kind: One of :data:`ALGORITHM_KINDS`.
+        mu: FedProx proximal coefficient (``kind="fedprox"`` only,
+            required > 0 there).
+        alpha: FedDyn dynamic-regularizer coefficient (``kind="feddyn"``
+            only, required > 0 there).
+        beta: Server-momentum coefficient in ``[0, 1)``. Required > 0 for
+            ``kind="server_momentum"``; optional on ``fedprox``/``feddyn``
+            (composition); must be 0 on ``fedavg`` (that spelling is
+            ``server_momentum``).
+    """
+
+    kind: str = "fedavg"
+    mu: float = 0.0
+    alpha: float = 0.0
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALGORITHM_KINDS:
+            raise ValueError(
+                f"unknown algorithm kind {self.kind!r}; "
+                f"choose from {ALGORITHM_KINDS}"
+            )
+        object.__setattr__(self, "mu", float(self.mu))
+        object.__setattr__(self, "alpha", float(self.alpha))
+        object.__setattr__(self, "beta", float(self.beta))
+        if not 0.0 <= self.beta < 1.0:
+            raise ValueError(
+                f"beta must be in [0, 1), got {self.beta}"
+            )
+        if self.mu < 0 or self.alpha < 0:
+            raise ValueError("mu and alpha must be non-negative")
+        if self.kind == "fedprox":
+            if self.mu <= 0:
+                raise ValueError("fedprox requires mu > 0")
+            if self.alpha != 0:
+                raise ValueError("alpha is a feddyn parameter")
+        elif self.kind == "feddyn":
+            if self.alpha <= 0:
+                raise ValueError("feddyn requires alpha > 0")
+            if self.mu != 0:
+                raise ValueError("mu is a fedprox parameter")
+        elif self.kind == "server_momentum":
+            if self.beta <= 0:
+                raise ValueError("server_momentum requires beta > 0")
+            if self.mu != 0 or self.alpha != 0:
+                raise ValueError(
+                    "server_momentum takes only beta; compose momentum "
+                    "with fedprox/feddyn by setting beta on those kinds"
+                )
+        else:  # fedavg
+            if self.mu != 0 or self.alpha != 0:
+                raise ValueError("fedavg takes no mu/alpha parameters")
+            if self.beta != 0:
+                raise ValueError(
+                    "fedavg with beta > 0 is spelled 'server_momentum' "
+                    "(one canonical spelling per rule)"
+                )
+
+    # Identity ----------------------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """True for the plain-SGD default (the paper's Algorithm 1)."""
+        return self.kind == "fedavg"
+
+    @property
+    def has_local_terms(self) -> bool:
+        """True when the local gradient gains prox/linear terms."""
+        return self.kind in ("fedprox", "feddyn")
+
+    @property
+    def stateful(self) -> bool:
+        """True when the rule carries state that must checkpoint."""
+        return self.kind == "feddyn" or self.beta > 0
+
+    def canonical(self) -> str:
+        """The canonical CLI spelling (``parse_algorithm`` inverse)."""
+        parts = []
+        if self.kind == "fedprox":
+            parts.append(f"mu={self.mu:g}")
+        elif self.kind == "feddyn":
+            parts.append(f"alpha={self.alpha:g}")
+        if self.beta > 0:
+            parts.append(f"beta={self.beta:g}")
+        if not parts:
+            return self.kind
+        return f"{self.kind}:{','.join(parts)}"
+
+    # JSON --------------------------------------------------------------------
+
+    def to_doc(self) -> dict:
+        """JSON-ready doc; parameters emitted only when non-zero."""
+        doc: dict = {"kind": self.kind}
+        if self.mu > 0:
+            doc["mu"] = self.mu
+        if self.alpha > 0:
+            doc["alpha"] = self.alpha
+        if self.beta > 0:
+            doc["beta"] = self.beta
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "AlgorithmSpec":
+        """Inverse of :meth:`to_doc` (validates keys and values)."""
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"algorithm doc must be a mapping, got {type(doc).__name__}"
+            )
+        unknown = set(doc) - {"kind", *_PARAM_NAMES}
+        if unknown:
+            raise ValueError(
+                f"unknown algorithm doc keys {sorted(unknown)}"
+            )
+        return cls(
+            kind=str(doc.get("kind", "fedavg")),
+            mu=float(doc.get("mu", 0.0)),
+            alpha=float(doc.get("alpha", 0.0)),
+            beta=float(doc.get("beta", 0.0)),
+        )
+
+
+#: The plain-SGD default every existing history was trained with.
+DEFAULT_ALGORITHM = AlgorithmSpec()
+
+
+def parse_algorithm(text: str) -> AlgorithmSpec:
+    """Parse a CLI algorithm string into an :class:`AlgorithmSpec`.
+
+    Grammar: ``kind[:param=value[,param=value...]]``. A bare kind fills
+    its required parameter from :data:`PARAM_DEFAULTS`, so
+    ``--algorithm fedprox`` is ``fedprox:mu=0.01``.
+    """
+    text = str(text).strip()
+    kind, _, tail = text.partition(":")
+    kind = kind.strip()
+    if kind not in ALGORITHM_KINDS:
+        raise ValueError(
+            f"unknown algorithm {kind!r}; choose from {ALGORITHM_KINDS} "
+            "(e.g. 'fedprox:mu=0.05' or 'feddyn:alpha=0.01,beta=0.9')"
+        )
+    params = {}
+    if tail.strip():
+        for item in tail.split(","):
+            name, sep, value = item.partition("=")
+            name = name.strip()
+            if not sep or name not in _PARAM_NAMES:
+                raise ValueError(
+                    f"bad algorithm parameter {item.strip()!r}; expected "
+                    f"name=value with name in {_PARAM_NAMES}"
+                )
+            try:
+                params[name] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"algorithm parameter {name!r} needs a number, "
+                    f"got {value.strip()!r}"
+                ) from None
+    # Bare kinds take their conventional defaults.
+    if kind == "fedprox":
+        params.setdefault("mu", PARAM_DEFAULTS["mu"])
+    elif kind == "feddyn":
+        params.setdefault("alpha", PARAM_DEFAULTS["alpha"])
+    elif kind == "server_momentum":
+        params.setdefault("beta", PARAM_DEFAULTS["beta"])
+    return AlgorithmSpec(kind=kind, **params)
+
+
+def coerce_algorithm(value: Optional[Any]) -> AlgorithmSpec:
+    """Normalize ``None`` / CLI string / doc dict / spec to a spec."""
+    if value is None:
+        return DEFAULT_ALGORITHM
+    if isinstance(value, AlgorithmSpec):
+        return value
+    if isinstance(value, str):
+        return parse_algorithm(value)
+    if isinstance(value, dict):
+        return AlgorithmSpec.from_doc(value)
+    raise TypeError(
+        "algorithm must be None, a spec string, a doc mapping, or an "
+        f"AlgorithmSpec, got {type(value).__name__}"
+    )

@@ -1,0 +1,232 @@
+"""Algorithm strategy objects: the pluggable local-update seam.
+
+An :class:`Algorithm` supplies everything the trainer's three execution
+paths need beyond plain SGD, in a form that keeps the PR-3 determinism
+contract intact:
+
+* **Gradient terms.** :meth:`Algorithm.loop_kwargs` (per client) and
+  :meth:`Algorithm.stacked_kwargs` (per batched call) return the
+  ``prox_coeff`` / ``prox_center`` / ``linear_term`` keyword arguments
+  the SGD kernels fold into every step's gradient. The terms are pure
+  functions of the round's global parameters and the algorithm state —
+  they consume **zero RNG draws** — so the loop, vectorized, and chunked
+  engines see exactly the same batch indices they always did, and the
+  loop fallback stays bit-identical to the stacked kernels per
+  algorithm.
+* **State evolution.** :meth:`Algorithm.post_local` advances per-client
+  state (FedDyn's ``h_n`` vectors) from the round's local updates, and
+  :meth:`Algorithm.server_update` applies server-side momentum to the
+  aggregated parameters. Both run in float64 regardless of the kernel
+  precision, mirroring how the server itself aggregates.
+* **Checkpoint travel.** :meth:`Algorithm.state_doc` /
+  :meth:`Algorithm.restore_state` round-trip the mutable state through
+  ``trainer-checkpoint/v2`` docs bit-exactly (JSON floats round-trip
+  float64 exactly), so a killed FedDyn run resumes mid-stream with the
+  same ``h`` it would have had uninterrupted.
+
+The concrete rules:
+
+* :class:`FedAvg` — no terms, no state; byte-for-byte the historical
+  trainer behavior (the trainer skips every hook at the default).
+* :class:`FedProx` — gradient gains ``mu * (w - w_global)``.
+* :class:`FedDyn` — gradient gains ``alpha * (w - w_global) - h_n``;
+  after the round, each participant's ``h_n -= alpha * (w_n - w_global)``.
+* :class:`ServerMomentum` — plain local SGD; after aggregation
+  ``m <- beta * m + delta`` and the server installs ``w + m``. ``beta``
+  composes onto FedProx/FedDyn through the shared base class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.spec import AlgorithmSpec, coerce_algorithm
+
+
+class Algorithm:
+    """Base strategy: plain FedAvg plus optional server momentum."""
+
+    def __init__(self, spec: AlgorithmSpec):
+        self.spec = spec
+        self._momentum: Optional[np.ndarray] = None
+        self._num_clients: Optional[int] = None
+        self._dim: Optional[int] = None
+
+    # Lifecycle ---------------------------------------------------------------
+
+    def bind(self, num_clients: int, dim: int) -> None:
+        """Allocate state for a fleet (idempotent; called at run start)."""
+        self._num_clients = int(num_clients)
+        self._dim = int(dim)
+        if self.spec.beta > 0 and self._momentum is None:
+            self._momentum = np.zeros(dim, dtype=float)
+
+    @property
+    def is_plain(self) -> bool:
+        """True when every hook is a no-op (the FedAvg default)."""
+        return self.spec.is_default
+
+    @property
+    def has_local_terms(self) -> bool:
+        return self.spec.has_local_terms
+
+    # Gradient terms ----------------------------------------------------------
+
+    def loop_kwargs(self, global_params: np.ndarray, client_id: int) -> dict:
+        """Kernel kwargs for one client's per-client (loop) update."""
+        return {}
+
+    def stacked_kwargs(
+        self,
+        global_params: np.ndarray,
+        client_ids: Sequence[int],
+        dtype: np.dtype,
+    ) -> dict:
+        """Kernel kwargs for one stacked/batched call over ``client_ids``.
+
+        ``global_params`` arrives already cast to the kernel ``dtype``;
+        per-client rows are returned in ``client_ids`` order.
+        """
+        return {}
+
+    # State evolution ---------------------------------------------------------
+
+    def post_local(
+        self,
+        global_params: np.ndarray,
+        updates: Dict[int, np.ndarray],
+    ) -> None:
+        """Advance per-client state from the round's local updates."""
+
+    def server_update(
+        self, before: np.ndarray, after: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Momentum-adjusted server parameters, or ``None`` when unused."""
+        beta = self.spec.beta
+        if beta <= 0:
+            return None
+        delta = np.asarray(after, dtype=float) - np.asarray(
+            before, dtype=float
+        )
+        self._momentum *= beta
+        self._momentum += delta
+        return np.asarray(before, dtype=float) + self._momentum
+
+    # Checkpoint travel -------------------------------------------------------
+
+    def state_doc(self) -> Optional[dict]:
+        """Mutable state as a JSON-ready doc (``None`` when stateless)."""
+        if self._momentum is None:
+            return None
+        return {"momentum": self._momentum.tolist()}
+
+    def restore_state(self, doc: Optional[dict]) -> None:
+        """Inverse of :meth:`state_doc` (shape-validated)."""
+        doc = doc or {}
+        if self.spec.beta > 0:
+            momentum = np.asarray(doc.get("momentum", []), dtype=float)
+            if self._dim is not None and momentum.shape != (self._dim,):
+                raise ValueError(
+                    f"checkpoint momentum state has shape {momentum.shape}, "
+                    f"expected ({self._dim},)"
+                )
+            self._momentum = momentum
+
+
+class FedAvg(Algorithm):
+    """Plain local SGD — the extracted historical behavior."""
+
+
+class ServerMomentum(Algorithm):
+    """Plain local SGD with a server-side momentum buffer."""
+
+
+class FedProx(Algorithm):
+    """Proximal local objective ``F_n(w) + mu/2 ||w - w_global||^2``."""
+
+    def loop_kwargs(self, global_params, client_id):
+        return {"prox_coeff": self.spec.mu, "prox_center": global_params}
+
+    def stacked_kwargs(self, global_params, client_ids, dtype):
+        return {
+            "prox_coeff": self.spec.mu,
+            "prox_center": np.asarray(global_params, dtype=dtype),
+        }
+
+
+class FedDyn(Algorithm):
+    """Dynamic regularizer with per-client first-order state ``h_n``.
+
+    Local gradient: ``grad F_n(w) + alpha * (w - w_global) - h_n``; after
+    the round each *participant* updates
+    ``h_n <- h_n - alpha * (w_n - w_global)``. Non-participants keep
+    their ``h_n`` (and the paper's Lemma-1 aggregation stays in charge of
+    the server update, which is exactly the study axis: the dynamic
+    regularizer changes each delta, not the unbiased weighting of
+    deltas).
+    """
+
+    def __init__(self, spec: AlgorithmSpec):
+        super().__init__(spec)
+        self._h: Optional[np.ndarray] = None
+
+    def bind(self, num_clients, dim):
+        super().bind(num_clients, dim)
+        if self._h is None:
+            self._h = np.zeros((int(num_clients), int(dim)), dtype=float)
+
+    def loop_kwargs(self, global_params, client_id):
+        return {
+            "prox_coeff": self.spec.alpha,
+            "prox_center": global_params,
+            "linear_term": -self._h[int(client_id)],
+        }
+
+    def stacked_kwargs(self, global_params, client_ids, dtype):
+        linear = -self._h[[int(i) for i in client_ids]]
+        return {
+            "prox_coeff": self.spec.alpha,
+            "prox_center": np.asarray(global_params, dtype=dtype),
+            "linear_term": linear.astype(dtype, copy=False),
+        }
+
+    def post_local(self, global_params, updates):
+        alpha = self.spec.alpha
+        base = np.asarray(global_params, dtype=float)
+        for client_id, params in updates.items():
+            self._h[int(client_id)] -= alpha * (
+                np.asarray(params, dtype=float) - base
+            )
+
+    def state_doc(self):
+        doc = super().state_doc() or {}
+        doc["h"] = self._h.tolist()
+        return doc
+
+    def restore_state(self, doc):
+        doc = doc or {}
+        super().restore_state(doc)
+        h = np.asarray(doc.get("h", []), dtype=float)
+        expected = (self._num_clients, self._dim)
+        if None not in expected and h.shape != expected:
+            raise ValueError(
+                f"checkpoint feddyn state has shape {h.shape}, "
+                f"expected {expected}"
+            )
+        self._h = h
+
+
+_STRATEGIES = {
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "feddyn": FedDyn,
+    "server_momentum": ServerMomentum,
+}
+
+
+def build_algorithm(value: Optional[Any]) -> Algorithm:
+    """Build the strategy for a spec / CLI string / doc / ``None``."""
+    spec = coerce_algorithm(value)
+    return _STRATEGIES[spec.kind](spec)

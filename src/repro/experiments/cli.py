@@ -160,6 +160,14 @@ def _add_common_options(
         "equivalent to the exact path; combine with --precision float32)",
     )
     parser.add_argument(
+        "--algorithm", default=default(None), metavar="KIND[:P=V,...]",
+        help="local-update rule for training runs: fedavg (default), "
+        "fedprox[:mu=...], feddyn[:alpha=...], server_momentum[:beta=...] "
+        "(beta composes onto fedprox/feddyn). Unlike --backend this "
+        "changes results, so non-default algorithms get their own cache "
+        "keys",
+    )
+    parser.add_argument(
         "--checkpoint-dir", type=Path, default=default(None), metavar="DIR",
         help="checkpoint training runs into per-job subdirectories of DIR "
         "(bit-identical results; enables kill-and-resume)",
@@ -352,6 +360,7 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         and args.chunk_size is None
         and args.precision == "float64"
         and not args.fast
+        and args.algorithm is None
         and args.checkpoint_dir is None
         and args.job_timeout is None
         and args.max_retries == 2
@@ -364,6 +373,7 @@ def _orchestrator(args) -> Optional[ExperimentOrchestrator]:
         chunk_size=args.chunk_size,
         precision=args.precision,
         fast=args.fast,
+        algorithm=args.algorithm,
         job_timeout=args.job_timeout,
         max_retries=args.max_retries,
     )
@@ -1029,10 +1039,12 @@ def _cmd_bench_trainer(args) -> int:
     """
     import numpy as np
 
+    from repro.algorithms import coerce_algorithm
     from repro.experiments.runner import run_history
     from repro.game import OptimalPricing
 
     prepared = _prepared(args)
+    algorithm = coerce_algorithm(args.algorithm)
     solve_start = time.perf_counter()
     q = OptimalPricing().apply(prepared.problem).q
     solve_s = time.perf_counter() - solve_start
@@ -1061,6 +1073,7 @@ def _cmd_bench_trainer(args) -> int:
                 backend=backend,
                 precision=args.precision,
                 fast=args.fast,
+                algorithm=algorithm,
                 phase_timings=timings,
             )
             times[backend].append(time.perf_counter() - start)
@@ -1097,6 +1110,7 @@ def _cmd_bench_trainer(args) -> int:
     rows = [
         [
             "loop",
+            algorithm.canonical(),
             loop_s,
             best_phases["loop"]["train_s"],
             best_phases["loop"]["eval_s"],
@@ -1105,6 +1119,7 @@ def _cmd_bench_trainer(args) -> int:
         ],
         [
             "vectorized",
+            algorithm.canonical(),
             vectorized_s,
             best_phases["vectorized"]["train_s"],
             best_phases["vectorized"]["eval_s"],
@@ -1116,6 +1131,7 @@ def _cmd_bench_trainer(args) -> int:
         render_table(
             [
                 "backend",
+                "algorithm",
                 "wall-clock s",
                 "train s",
                 "eval s",
@@ -1163,6 +1179,10 @@ def _cmd_bench_trainer(args) -> int:
             # Fast-tier measurements live beside — never instead of — the
             # exact-path artifact the README perf table tracks.
             filename = filename.replace(".json", "_fast.json")
+        if not algorithm.is_default:
+            # Same rule for non-default algorithms: their kernel overhead
+            # is archived beside the FedAvg baseline, keyed by kind.
+            filename = filename.replace(".json", f"_{algorithm.kind}.json")
     out_dir.mkdir(parents=True, exist_ok=True)
     save_json(
         {
@@ -1177,6 +1197,7 @@ def _cmd_bench_trainer(args) -> int:
             "mean_participants": float(np.clip(q, 0.0, 1.0).sum()),
             "precision": args.precision,
             "fast": args.fast,
+            "algorithm": algorithm.canonical(),
             "solve_s": solve_s,
             "loop_s": loop_s,
             "vectorized_s": vectorized_s,
@@ -1601,6 +1622,13 @@ def main(
         )
     if args.max_retries < 0:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.algorithm is not None:
+        from repro.algorithms import parse_algorithm
+
+        try:
+            parse_algorithm(args.algorithm)
+        except ValueError as error:
+            parser.error(f"--algorithm: {error}")
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
     try:

@@ -48,9 +48,11 @@ its base. Train jobs are keyed by the *full* ``q`` vector rather than the
 scheme that produced it, so two schemes or sweep points that induce the
 same participation share one cached run. The scenario layer's knobs — a
 non-Bernoulli participation process, zero-exclusion, a parameterized
-mechanism's constructor kwargs — enter job keys **only at non-default
-values**, so every pre-scenario key is preserved and the paper-default
-scenario shares the plain pipeline's entries. The trainer *backend*
+mechanism's constructor kwargs — and the local-update *algorithm*
+(:class:`~repro.algorithms.AlgorithmSpec`) enter job keys **only at
+non-default values**, so every pre-scenario/pre-algorithm key is
+preserved and the paper-default scenario shares the plain pipeline's
+entries. The trainer *backend*
 (vectorized vs loop) is excluded from the key on purpose: both engines
 produce bit-identical histories, so a store populated under either backend
 serves the other. Within a single graph run,
@@ -82,6 +84,7 @@ import numpy as np
 
 import repro
 from repro import faults
+from repro.algorithms import AlgorithmSpec, coerce_algorithm
 from repro.experiments.setup import PreparedSetup
 from repro.utils.rng import spawn_rng
 from repro.utils.serialization import (
@@ -233,6 +236,13 @@ class TrainJob:
     **not** point fast-tier and exact sweeps at the same cache directory
     when you need the exact numbers — warm the exact store first, or give
     the fast tier its own ``cache_dir``.
+
+    ``algorithm`` (an :class:`~repro.algorithms.AlgorithmSpec`) selects
+    the local-update rule. Unlike the performance knobs it **changes the
+    produced history**, so it enters :meth:`key_fields` — but only at
+    non-default values (``None`` and plain ``fedavg`` emit nothing), so a
+    FedProx history is never served from a FedAvg-warmed store while every
+    pre-algorithm job keeps its historical cache key.
     """
 
     q: Tuple[float, ...]
@@ -246,6 +256,7 @@ class TrainJob:
     resume: bool = False
     precision: str = "float64"
     fast: bool = False
+    algorithm: Optional[AlgorithmSpec] = None
 
     kind = "train"
 
@@ -255,6 +266,8 @@ class TrainJob:
             fields["participation"] = self.participation.to_doc()
         if self.exclude_zero:
             fields["exclude_zero"] = True
+        if self.algorithm is not None and not self.algorithm.is_default:
+            fields["algorithm"] = self.algorithm.to_doc()
         return fields
 
 
@@ -539,6 +552,7 @@ def _execute_spec(prepared: PreparedSetup, spec: JobSpec) -> dict:
             resume=spec.resume,
             precision=spec.precision,
             fast=spec.fast,
+            algorithm=spec.algorithm,
         )
         return history_to_doc(history)
     raise TypeError(f"unknown job spec {type(spec).__name__}")
@@ -658,6 +672,11 @@ class ExperimentOrchestrator:
             statistical equivalence, and its results stand in for the
             exact ones wherever the tier is selected; use a separate
             ``cache_dir`` when exact numbers must not be displaced.
+        algorithm: Local-update rule for the train jobs this orchestrator
+            builds (an :class:`~repro.algorithms.AlgorithmSpec`, its
+            string/dict form, or ``None`` for plain FedAvg). Unlike the
+            performance knobs the algorithm changes results, so
+            non-default values enter every train job's cache key.
         job_timeout: Seconds a pool job may run before it is presumed
             stuck; the pool is torn down (a running task cannot be
             cancelled individually), the overdue job is retried with
@@ -690,6 +709,7 @@ class ExperimentOrchestrator:
         chunk_size: Optional[int] = None,
         precision: str = "float64",
         fast: bool = False,
+        algorithm: Optional[Any] = None,
         job_timeout: Optional[float] = None,
         max_retries: int = 2,
         retry_base_delay: float = 0.5,
@@ -713,6 +733,10 @@ class ExperimentOrchestrator:
         self.chunk_size = chunk_size
         self.precision = precision
         self.fast = bool(fast)
+        # Normalized so plain fedavg and None build identical TrainJobs
+        # (and therefore identical cache keys).
+        spec = coerce_algorithm(algorithm)
+        self.algorithm = None if spec.is_default else spec
         self.job_timeout = None if job_timeout is None else float(job_timeout)
         self.max_retries = int(max_retries)
         self.retry_base_delay = float(retry_base_delay)
@@ -1227,6 +1251,7 @@ class ExperimentOrchestrator:
         variant: Variant = None,
         participation: Optional[Any] = None,
         exclude_zero: bool = False,
+        algorithm: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Orchestrated :func:`~repro.experiments.runner.run_pricing_comparison`.
 
@@ -1236,6 +1261,9 @@ class ExperimentOrchestrator:
         ``participation`` and ``exclude_zero`` are forwarded to every train
         job (see :class:`TrainJob`); a plain-Bernoulli spec is normalized
         to ``None`` so it shares cache entries with the historical path.
+        ``algorithm`` overrides this orchestrator's default local-update
+        rule for the battery (plain FedAvg normalizes to ``None`` for the
+        same cache-sharing reason).
         """
         from repro.experiments.runner import SchemeResult, default_schemes
 
@@ -1245,6 +1273,11 @@ class ExperimentOrchestrator:
             schemes = default_schemes()
         if participation is not None and participation.kind == "bernoulli":
             participation = None
+        if algorithm is None:
+            algorithm = self.algorithm
+        else:
+            spec = coerce_algorithm(algorithm)
+            algorithm = None if spec.is_default else spec
 
         def train_job(q_vector: Tuple[float, ...], seed: int) -> TrainJob:
             # exclude_zero is a no-op unless q actually contains an exact
@@ -1262,6 +1295,7 @@ class ExperimentOrchestrator:
                 resume=self.resume,
                 precision=self.precision,
                 fast=self.fast,
+                algorithm=algorithm,
             )
 
         nodes: List[JobNode] = []
@@ -1374,6 +1408,7 @@ class ExperimentOrchestrator:
                                 resume=self.resume,
                                 precision=self.precision,
                                 fast=self.fast,
+                                algorithm=self.algorithm,
                             ),
                         )
                     )

@@ -72,6 +72,7 @@ def run_history(
     resume: bool = False,
     precision: str = "float64",
     fast: bool = False,
+    algorithm=None,
     phase_timings: Optional[dict] = None,
 ) -> TrainingHistory:
     """One FL training run at participation vector ``q`` on the testbed.
@@ -116,6 +117,12 @@ def run_history(
     for throughput and are validated by statistical-equivalence tests
     instead of digest pins. ``phase_timings``, when a dict, receives the
     trainer's per-phase wall-clock breakdown (``train_s`` / ``eval_s``).
+
+    ``algorithm`` selects the local-update rule (an
+    :class:`~repro.algorithms.AlgorithmSpec`, its string/dict form, or
+    ``None`` for plain FedAvg — see :mod:`repro.algorithms`). Unlike
+    ``backend``/``chunk_size``, the algorithm *changes the produced
+    history*, so it participates in orchestrator cache keys.
     """
     requested = np.asarray(q, dtype=float)
     q = np.clip(requested, Q_MIN, 1.0)
@@ -157,6 +164,7 @@ def run_history(
         chunk_size=chunk_size,
         precision=precision,
         fast=fast,
+        algorithm=algorithm,
     )
     checkpoint = None
     if checkpoint_dir is not None:
@@ -240,6 +248,7 @@ def run_pricing_comparison(
     orchestrator=None,
     participation: Optional[ParticipationSpec] = None,
     exclude_zero: bool = False,
+    algorithm=None,
 ) -> PricingComparison:
     """Compare pricing schemes on one prepared setup (the Fig.-4 engine).
 
@@ -263,6 +272,9 @@ def run_pricing_comparison(
             independent-Bernoulli path.
         exclude_zero: Preserve exact zeros in induced ``q`` vectors
             (deliberately excluded clients) instead of clipping them.
+        algorithm: Local-update rule for every training run (see
+            :func:`run_history`); ``None`` keeps the orchestrator's
+            default (plain FedAvg unless it was built with another).
 
     Returns:
         Mapping scheme name to :class:`SchemeResult`.
@@ -275,6 +287,7 @@ def run_pricing_comparison(
         train=train,
         participation=participation,
         exclude_zero=exclude_zero,
+        algorithm=algorithm,
     )
 
 

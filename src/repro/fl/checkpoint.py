@@ -35,8 +35,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
 
-#: Format tag of trainer checkpoint documents.
-CHECKPOINT_FORMAT = "trainer-checkpoint/v1"
+#: Format tag newly-written trainer checkpoints carry. ``v2`` added the
+#: optional ``algorithm`` block (spec + mutable state — FedDyn's
+#: per-client ``h`` vectors, the server-momentum buffer); everything a
+#: ``v1`` document records is unchanged.
+CHECKPOINT_FORMAT = "trainer-checkpoint/v2"
+
+#: Formats :meth:`CheckpointManager.latest_doc` accepts. ``v1`` documents
+#: (written before the algorithm layer existed) are readable forever and
+#: imply the plain-FedAvg default.
+ACCEPTED_CHECKPOINT_FORMATS = (
+    "trainer-checkpoint/v1",
+    "trainer-checkpoint/v2",
+)
 
 PathLike = Union[str, Path]
 
@@ -102,7 +113,7 @@ class CheckpointManager:
         directory, so readers never observe a torn checkpoint and a crash
         mid-save leaves the previous set intact.
         """
-        if doc.get("format") != CHECKPOINT_FORMAT:
+        if doc.get("format") not in ACCEPTED_CHECKPOINT_FORMATS:
             raise ValueError(
                 f"not a checkpoint document: {doc.get('format')!r}"
             )
@@ -138,7 +149,10 @@ class CheckpointManager:
                     doc = json.load(handle)
             except (OSError, json.JSONDecodeError):
                 continue
-            if isinstance(doc, dict) and doc.get("format") == CHECKPOINT_FORMAT:
+            if (
+                isinstance(doc, dict)
+                and doc.get("format") in ACCEPTED_CHECKPOINT_FORMATS
+            ):
                 return doc
         return None
 

@@ -69,9 +69,23 @@ class FLClient:
         return min(self.batch_size, len(self.dataset))
 
     def local_update(
-        self, global_params: np.ndarray, *, step_size: float, num_steps: int
+        self,
+        global_params: np.ndarray,
+        *,
+        step_size: float,
+        num_steps: int,
+        prox_coeff: float = None,
+        prox_center: np.ndarray = None,
+        linear_term: np.ndarray = None,
     ) -> np.ndarray:
-        """Run local SGD from ``global_params`` and return ``w_n^{r+1}``."""
+        """Run local SGD from ``global_params`` and return ``w_n^{r+1}``.
+
+        The optional algorithm terms (FedProx/FedDyn gradient additions,
+        see :mod:`repro.algorithms`) pass straight through to
+        :func:`~repro.models.optim.sgd_steps`; they consume no RNG draws,
+        so the client's stream position evolves exactly as under plain
+        FedAvg.
+        """
         # One arrays() call: a lazy (streaming) shard materializes once
         # even with the provider LRU off.
         features, labels = self.dataset.arrays()
@@ -84,6 +98,9 @@ class FLClient:
             num_steps=num_steps,
             batch_size=self.batch_size,
             rng=self._rng,
+            prox_coeff=prox_coeff,
+            prox_center=prox_center,
+            linear_term=linear_term,
         )
 
     def draw_batch_indices(self, num_steps: int) -> np.ndarray:

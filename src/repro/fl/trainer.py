@@ -39,9 +39,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.algorithms import DEFAULT_ALGORITHM, AlgorithmSpec, build_algorithm
 from repro.datasets.federated import FederatedDataset
 from repro.fl.aggregation import Aggregator, UnbiasedDeltaAggregator
 from repro.fl.checkpoint import (
+    ACCEPTED_CHECKPOINT_FORMATS,
     CHECKPOINT_FORMAT,
     CheckpointConfig,
     CheckpointManager,
@@ -169,8 +171,18 @@ class FederatedTrainer:
             rows and assembled participant pools persist across rounds in
             trainer-level LRUs, and large-fleet evaluation switches to the
             deterministic sub-sampled estimator of
-            :func:`repro.models.metrics.subsampled_global_loss`. Implies
-            nothing about ``precision`` — ``fast`` + ``float64`` is valid.
+            :func:`repro.models.metrics.subsampled_global_loss` (scored
+            in the working dtype, so a float32 run's panel pass rides the
+            float32 row cache). Implies nothing about ``precision`` —
+            ``fast`` + ``float64`` is valid.
+        algorithm: Which local-update rule trains each round — an
+            :class:`~repro.algorithms.AlgorithmSpec`, a CLI string
+            (``"fedprox:mu=0.05"``), or ``None`` for the plain-FedAvg
+            default. The default takes byte-for-byte the historical code
+            path; non-default algorithms add gradient terms and state
+            hooks that consume **zero** RNG draws, so every backend x
+            chunk_size x storage combination stays bit-identical per
+            algorithm (see :mod:`repro.algorithms`).
     """
 
     def __init__(
@@ -191,6 +203,7 @@ class FederatedTrainer:
         chunk_size: Optional[int] = None,
         precision: str = "float64",
         fast: bool = False,
+        algorithm: Optional[AlgorithmSpec] = None,
     ):
         if participation.num_clients != federated.num_clients:
             raise ValueError(
@@ -265,6 +278,12 @@ class FederatedTrainer:
             federated.weights,
             aggregator or UnbiasedDeltaAggregator(),
         )
+        # The algorithm strategy (plain FedAvg unless asked otherwise).
+        # Bound to the fleet up front so FedDyn's per-client state exists
+        # before any checkpoint restore shape-checks against it.
+        self._algorithm = build_algorithm(algorithm)
+        self._algorithm.bind(federated.num_clients, len(self.server.params))
+        self.algorithm_spec = self._algorithm.spec
 
     def _evaluate(self, params: np.ndarray) -> dict:
         test = self.federated.test_dataset
@@ -278,12 +297,18 @@ class FederatedTrainer:
                     FAST_EVAL_SAMPLE,
                     self._rng_factory.make("fast-eval-panel"),
                 )
+            # The panel pass runs in the working dtype: with float32 the
+            # scoring matmuls ride the same float32 rows the SGD kernels
+            # cache (no float64 re-materialization of panel shards), at
+            # statistical-equivalence accuracy like the kernels
+            # themselves. float64 passes dtype=None and is bit-unchanged.
             subsampled = subsampled_global_loss(
                 self.model,
                 params,
                 self.federated,
                 self._eval_panel,
                 arrays=self._rows_by_id,
+                dtype=None if self.dtype == np.float64 else self.dtype,
             )
             self.last_subsampled_loss = subsampled
             objective = subsampled.estimate
@@ -373,6 +398,19 @@ class FederatedTrainer:
         self, global_params: np.ndarray, step_size: float, mask: np.ndarray
     ) -> Dict[int, np.ndarray]:
         """Reference engine: sequential per-client local SGD."""
+        if self._algorithm.has_local_terms:
+            return {
+                client.client_id: client.local_update(
+                    global_params,
+                    step_size=step_size,
+                    num_steps=self.local_steps,
+                    **self._algorithm.loop_kwargs(
+                        global_params, client.client_id
+                    ),
+                )
+                for client in self.clients
+                if mask[client.client_id]
+            }
         return {
             client.client_id: client.local_update(
                 global_params,
@@ -453,6 +491,13 @@ class FederatedTrainer:
                 np.stack([indices for _, indices in members])
                 + pool_offsets[:, None, None]
             )
+            algorithm_kwargs = {}
+            if self._algorithm.has_local_terms:
+                algorithm_kwargs = self._algorithm.stacked_kwargs(
+                    global_params,
+                    [client.client_id for client, _ in members],
+                    self.dtype,
+                )
             params_stack = self.model.batched_sgd_steps(
                 np.repeat(
                     np.asarray(global_params, dtype=self.dtype)[None, :],
@@ -463,6 +508,7 @@ class FederatedTrainer:
                 self._pool_labels,
                 pool_indices,
                 step_size=step_size,
+                **algorithm_kwargs,
             )
             for row, (client, _) in enumerate(members):
                 updated[client.client_id] = params_stack[row]
@@ -508,12 +554,20 @@ class FederatedTrainer:
                     np.stack([indices for _, indices in members])
                     + pool_offsets[:, None, None]
                 )
+                algorithm_kwargs = {}
+                if self._algorithm.has_local_terms:
+                    algorithm_kwargs = self._algorithm.stacked_kwargs(
+                        params0,
+                        [client.client_id for client, _ in members],
+                        self.dtype,
+                    )
                 params_stack = self.model.batched_sgd_steps(
                     np.repeat(params0[None, :], len(members), axis=0),
                     pool_features,
                     pool_labels,
                     pool_indices,
                     step_size=step_size,
+                    **algorithm_kwargs,
                 )
                 for row, (client, _) in enumerate(members):
                     updated[client.client_id] = params_stack[row]
@@ -612,7 +666,18 @@ class FederatedTrainer:
             local_params = self._local_updates(
                 global_params, step_size, mask
             )
+            if not self._algorithm.is_plain:
+                # FedDyn advances each participant's h-state from its
+                # float64 local update (state evolves in float64 like the
+                # server does, whatever the kernel precision).
+                self._algorithm.post_local(global_params, local_params)
             self.server.apply_round(local_params, q)
+            if self._algorithm.spec.beta > 0:
+                adjusted = self._algorithm.server_update(
+                    global_params, self.server.params
+                )
+                if adjusted is not None:
+                    self.server.restore(adjusted, self.server.round_index)
             self.phase_timings["train_s"] += (
                 time.perf_counter() - train_started
             )
@@ -674,7 +739,7 @@ class FederatedTrainer:
         """Snapshot of all mutable training state entering ``next_round``."""
         from repro.utils.serialization import history_to_doc
 
-        return {
+        doc = {
             "format": CHECKPOINT_FORMAT,
             "next_round": int(next_round),
             "num_rounds": int(num_rounds),
@@ -690,6 +755,17 @@ class FederatedTrainer:
             "clients": [client.rng_state() for client in self.clients],
             "trainer": self._config_fingerprint(),
         }
+        # The algorithm block exists only at non-default values (like the
+        # key itself in scenario docs and cache keys): a v1-era reader of
+        # a default-algorithm v2 document sees exactly the fields it
+        # always did, and FedDyn's h / the momentum buffer travel with
+        # the snapshot so a resumed run replays them bit-exactly.
+        if not self._algorithm.is_plain:
+            doc["algorithm"] = {
+                "spec": self._algorithm.spec.to_doc(),
+                "state": self._algorithm.state_doc(),
+            }
+        return doc
 
     def _restore_checkpoint(self, doc: dict, num_rounds: int):
         """Load a checkpoint document into live trainer state.
@@ -699,7 +775,7 @@ class FederatedTrainer:
         """
         from repro.utils.serialization import history_from_doc
 
-        if doc.get("format") != CHECKPOINT_FORMAT:
+        if doc.get("format") not in ACCEPTED_CHECKPOINT_FORMATS:
             raise ValueError(
                 f"not a checkpoint document: {doc.get('format')!r}"
             )
@@ -728,6 +804,23 @@ class FederatedTrainer:
                 f"but this trainer runs {self.dtype.name!r}; resume with "
                 "the matching --precision"
             )
+        # A document without an algorithm block (every v1 checkpoint, and
+        # v2 ones written at the default) recorded a plain-FedAvg run.
+        algorithm_entry = doc.get("algorithm")
+        recorded_algorithm = (
+            AlgorithmSpec.from_doc(algorithm_entry["spec"])
+            if algorithm_entry
+            else DEFAULT_ALGORITHM
+        )
+        if recorded_algorithm != self._algorithm.spec:
+            raise ValueError(
+                "checkpoint was taken with algorithm "
+                f"{recorded_algorithm.canonical()!r} but this trainer runs "
+                f"{self._algorithm.spec.canonical()!r}; resume with the "
+                "matching --algorithm"
+            )
+        if algorithm_entry is not None:
+            self._algorithm.restore_state(algorithm_entry.get("state"))
         self.server.restore(
             np.asarray(doc["params"], dtype=float), int(doc["server_round"])
         )

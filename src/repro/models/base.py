@@ -114,6 +114,9 @@ class Model(ABC):
         batch_indices: np.ndarray,
         *,
         step_size: float,
+        prox_coeff: float = None,
+        prox_center: np.ndarray = None,
+        linear_term: np.ndarray = None,
     ) -> np.ndarray:
         """One round of mini-batch SGD for a whole stack of tasks.
 
@@ -130,20 +133,37 @@ class Model(ABC):
                 pool — task ``k``'s step-``s`` mini-batch is
                 ``features[batch_indices[k, s]]``.
             step_size: Fixed step size for all steps.
+            prox_coeff: Optional proximal coefficient; every step's
+                gradient gains ``prox_coeff * (w - prox_center)``
+                (the algorithm layer's FedProx/FedDyn hook).
+            prox_center: Proximal anchor, shape ``(num_params,)``
+                broadcast across tasks. Required with ``prox_coeff``.
+            linear_term: Optional per-task constant gradient offset,
+                shape ``(num_tasks, num_params)`` (FedDyn's ``-h_n``).
 
         Returns:
             The updated parameter stack. Bit-identical to running
             :func:`repro.models.optim.sgd_steps` per task on the same
             batches; subclasses overriding this with fused kernels must
-            preserve that equivalence.
+            preserve that equivalence (including the algorithm terms'
+            op order: prox after the model gradient, linear after prox,
+            step-size multiply last).
         """
         check_positive(step_size, "step_size")
+        if prox_coeff is not None and prox_center is None:
+            raise ValueError("prox_coeff requires prox_center")
         current = np.array(self._check_params_stack(params_stack), copy=True)
         for step in range(batch_indices.shape[1]):
             take = batch_indices[:, step]
             gradient = self.batched_gradient(
                 current, features[take], labels[take]
             )
+            if prox_coeff is not None:
+                prox = current - prox_center
+                prox *= prox_coeff
+                gradient = gradient + prox
+            if linear_term is not None:
+                gradient = gradient + linear_term
             current -= step_size * gradient
         return current
 

@@ -214,6 +214,9 @@ class MultinomialLogisticRegression(Model):
         batch_indices: np.ndarray,
         *,
         step_size: float,
+        prox_coeff: float = None,
+        prox_center: np.ndarray = None,
+        linear_term: np.ndarray = None,
     ) -> np.ndarray:
         """Fused round of stacked local SGD (see the base-class contract).
 
@@ -225,9 +228,15 @@ class MultinomialLogisticRegression(Model):
         in place), and each step's label positions are precomputed as flat
         offsets. All of these transformations are value-preserving, so the
         result stays bit-identical to the per-client loop; the test suite
-        pins that.
+        pins that. The optional algorithm terms (``prox_coeff`` /
+        ``prox_center`` / ``linear_term``) fold in after the ``l2`` add
+        and before the step-size multiply — the exact op order of
+        :func:`repro.models.optim.sgd_steps` — so per-algorithm
+        bit-identity holds too.
         """
         check_positive(step_size, "step_size")
+        if prox_coeff is not None and prox_center is None:
+            raise ValueError("prox_coeff requires prox_center")
         params_stack = self._check_params_stack(params_stack)
         dtype = params_stack.dtype
         num_tasks, num_steps, batch = batch_indices.shape
@@ -289,6 +298,12 @@ class MultinomialLogisticRegression(Model):
             np.einsum("kbc->kc", logits, out=grad_bias)
             np.multiply(current, self.l2, out=scratch)
             gradient += scratch
+            if prox_coeff is not None:
+                np.subtract(current, prox_center, out=scratch)
+                scratch *= prox_coeff
+                gradient += scratch
+            if linear_term is not None:
+                gradient += linear_term
             np.multiply(gradient, step_size, out=scratch)
             current -= scratch
         # The workspace's ``current`` is reused on the next call, so hand

@@ -135,6 +135,7 @@ def losses_for_clients(
     client_ids: Sequence[int],
     *,
     arrays: Optional[Callable[[int], Tuple[np.ndarray, np.ndarray]]] = None,
+    dtype: Optional[np.dtype] = None,
 ) -> np.ndarray:
     """Local losses ``F_n(w)`` for an explicit subset of clients.
 
@@ -143,10 +144,17 @@ def losses_for_clients(
     samples resident at a time, streaming-safe), but only over the listed
     clients — cost scales with the panel, not the fleet. ``arrays``
     optionally overrides how a client's rows are fetched (the fast tier
-    passes its trainer-level row cache).
+    passes its trainer-level row cache). ``dtype`` optionally casts the
+    parameter vector so the scoring matmuls run in that precision — with
+    the fast tier's float32 row cache this keeps the whole panel pass on
+    the float32 pool instead of silently upcasting every product to
+    float64; ``None`` (the default) leaves the historical float64 pass
+    bit-for-bit unchanged.
     """
     sizes = np.asarray(federated.sizes, dtype=int)
     shards = federated.client_datasets
+    if dtype is not None:
+        params = np.asarray(params, dtype=dtype)
     if arrays is None:
         def arrays(client_id):
             return shards[client_id].arrays()
@@ -245,16 +253,19 @@ def subsampled_global_loss(
     panel: EvaluationPanel,
     *,
     arrays: Optional[Callable[[int], Tuple[np.ndarray, np.ndarray]]] = None,
+    dtype: Optional[np.dtype] = None,
 ) -> SubsampledLoss:
     """Estimate ``F(w)`` from a panel, with a normal-theory 95% interval.
 
     Each importance draw contributes its client's local loss; the
     estimate is the draw mean (unbiased for the weighted objective over
     the panel draw) and ``half_width`` is ``1.96 * s / sqrt(m)`` over the
-    ``m = panel.sample_size`` draws.
+    ``m = panel.sample_size`` draws. ``dtype`` forwards to
+    :func:`losses_for_clients` (the fast tier's float32 panel pass).
     """
     losses = losses_for_clients(
-        model, params, federated, panel.client_ids, arrays=arrays
+        model, params, federated, panel.client_ids, arrays=arrays,
+        dtype=dtype,
     )
     m = panel.sample_size
     estimate = float(panel.counts @ losses) / m

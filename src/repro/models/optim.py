@@ -78,6 +78,9 @@ def sgd_steps(
     num_steps: int,
     batch_size: int,
     rng: SeedLike = None,
+    prox_coeff: float = None,
+    prox_center: np.ndarray = None,
+    linear_term: np.ndarray = None,
 ) -> np.ndarray:
     """Run ``num_steps`` of mini-batch SGD and return the new parameters.
 
@@ -95,6 +98,14 @@ def sgd_steps(
         num_steps: Number of SGD iterations ``E``.
         batch_size: Mini-batch size (paper uses 24).
         rng: Seed or generator for batch sampling.
+        prox_coeff: Optional proximal coefficient: each step's gradient
+            gains ``prox_coeff * (w - prox_center)`` (FedProx's mu,
+            FedDyn's alpha). ``None`` skips the term entirely — the
+            default path is byte-for-byte the historical kernel.
+        prox_center: Anchor of the proximal term (the round's global
+            parameters). Required with ``prox_coeff``.
+        linear_term: Optional constant gradient offset added each step
+            (FedDyn's ``-h_n``). Consumes no RNG draws.
 
     Returns:
         The updated parameter vector.
@@ -104,6 +115,8 @@ def sgd_steps(
         raise ValueError(f"num_steps must be >= 1, got {num_steps}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if prox_coeff is not None and prox_center is None:
+        raise ValueError("prox_coeff requires prox_center")
     generator = spawn_rng(rng)
     num_samples = features.shape[0]
     effective_batch = min(batch_size, num_samples)
@@ -115,6 +128,16 @@ def sgd_steps(
     for step in range(num_steps):
         batch = batch_indices[step]
         grad = model.gradient(current, features[batch], labels[batch])
+        # Algorithm terms fold in AFTER the model gradient (which already
+        # carries the l2 term) and BEFORE the step-size multiply — the
+        # stacked kernels apply the same ops in the same order, which is
+        # what keeps loop == vectorized bit-identity per algorithm.
+        if prox_coeff is not None:
+            prox = current - prox_center
+            prox *= prox_coeff
+            grad = grad + prox
+        if linear_term is not None:
+            grad = grad + linear_term
         current -= step_size * grad
     return current
 

@@ -36,12 +36,23 @@ Built-in suite
   tier**: the mechanism suite's budget-level searches run on the
   approximate (bucketed + bounded-refinement) solvers, so pricing the
   fleet costs O(buckets) Newton brackets per probe instead of O(N).
+* ``paper-default-fedprox`` — the paper's regime trained under FedProx
+  (``mu=0.05``): same economy, same participation draws, a different
+  local-update rule — the algorithm x mechanism comparison cell next to
+  ``paper-default``.
+* ``flaky-fleet-feddyn`` — the mid-round-dropout regime trained under
+  FedDyn: per-client drift correctors meet clients that keep vanishing,
+  the stress case for stateful algorithms (and for checkpointing their
+  state through kills).
+* ``paper-default-momentum`` — the paper's regime with server-side
+  momentum (``beta=0.9``) on top of plain local SGD.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.algorithms import AlgorithmSpec
 from repro.fl.participation import ParticipationSpec
 from repro.scenarios.spec import PopulationSpec, ScenarioSpec
 
@@ -194,5 +205,36 @@ register_scenario(
         population=PopulationSpec(num_clients=10_000),
         streaming=True,
         tags=("scale",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-default-fedprox",
+        description="The paper's regime trained under FedProx (mu=0.05): "
+        "the algorithm x mechanism comparison cell next to paper-default",
+        algorithm=AlgorithmSpec(kind="fedprox", mu=0.05),
+        tags=("algorithm",),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flaky-fleet-feddyn",
+        description="Mid-round dropout (0.3) trained under FedDyn "
+        "(alpha=0.01): per-client drift state meets vanishing clients",
+        participation=ParticipationSpec(kind="dropout", dropout=0.3),
+        algorithm=AlgorithmSpec(kind="feddyn", alpha=0.01),
+        tags=("algorithm", "robustness", "participation"),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="paper-default-momentum",
+        description="The paper's regime with server-side momentum "
+        "(beta=0.9) over plain local SGD",
+        algorithm=AlgorithmSpec(kind="server_momentum", beta=0.9),
+        tags=("algorithm",),
     )
 )

@@ -82,13 +82,20 @@ class PreparedScenario:
 
 @dataclass
 class ScenarioCell:
-    """One (scenario, mechanism) result of a comparison matrix."""
+    """One (scenario, mechanism) result of a comparison matrix.
+
+    ``algorithm`` is the canonical spelling of the local-update rule the
+    cell trained under (``None`` for plain FedAvg and game-only cells),
+    so algorithm x mechanism artifacts are self-describing without a trip
+    back to the registry.
+    """
 
     scenario: str
     mechanism: str
     outcome: PricingOutcome
     histories: List = field(default_factory=list)
     metrics: Dict[str, float] = field(default_factory=dict)
+    algorithm: Optional[str] = None
 
 
 def scenario_config(
@@ -454,6 +461,7 @@ class ScenarioRunner:
                 orchestrator=orchestrator,
                 participation=spec.participation,
                 exclude_zero=True,
+                algorithm=spec.algorithm,
             )
             for mechanism in mechanisms:
                 result = comparison[mechanism.name]
@@ -463,6 +471,11 @@ class ScenarioRunner:
                         mechanism=mechanism.name,
                         outcome=result.outcome,
                         histories=list(result.histories),
+                        algorithm=(
+                            spec.algorithm.canonical()
+                            if spec.algorithm is not None
+                            else None
+                        ),
                     )
                 )
         else:

@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
+from repro.algorithms import AlgorithmSpec, coerce_algorithm
 from repro.fl.participation import ParticipationSpec
 from repro.utils.serialization import content_address
 
@@ -113,6 +114,14 @@ class ScenarioSpec:
             enabled — uses the fast trainer path. The tier for fleets
             where exact O(N) solver probes dominate (100k+ clients);
             validated by statistical equivalence, not digest equality.
+        algorithm: The local-update rule training runs under (an
+            :class:`~repro.algorithms.AlgorithmSpec`, its string/dict
+            form, or ``None`` for plain FedAvg — normalized to ``None`` at
+            the default). Unlike ``fast``/``streaming`` the algorithm
+            changes the trained histories, so non-default values enter the
+            scenario fingerprint (but never
+            :meth:`population_fingerprint` — the economy is algorithm-
+            agnostic).
         tags: Free-form labels (``"paper"``, ``"stress"``, ...).
     """
 
@@ -124,11 +133,23 @@ class ScenarioSpec:
     train: bool = True
     streaming: bool = False
     fast: bool = False
+    algorithm: Optional[Any] = None
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario name must be non-empty")
+        if self.algorithm is not None:
+            spec = coerce_algorithm(self.algorithm)
+            object.__setattr__(
+                self, "algorithm", None if spec.is_default else spec
+            )
+        if self.algorithm is not None and not self.train:
+            raise ValueError(
+                "algorithm selects the *training* local-update rule; "
+                "game-only scenarios (train=False) never train and don't "
+                "take the knob"
+            )
         if self.setup not in ("setup1", "setup2", "setup3"):
             raise ValueError(
                 f"unknown setup {self.setup!r}; choose setup1/setup2/setup3"
@@ -155,6 +176,7 @@ class ScenarioSpec:
             self.population.is_baseline
             and self.participation.kind == "bernoulli"
             and self.train
+            and self.algorithm is None
         )
 
     # Serialization -----------------------------------------------------------
@@ -162,9 +184,10 @@ class ScenarioSpec:
     def to_doc(self) -> dict:
         """Lossless JSON-serializable form (canonical field order).
 
-        ``streaming`` and ``fast`` are emitted only when set, so every
-        pre-existing scenario document — and every fingerprint derived
-        from one — is byte-stable across each field's introduction.
+        ``streaming``, ``fast``, and ``algorithm`` are emitted only when
+        set, so every pre-existing scenario document — and every
+        fingerprint derived from one — is byte-stable across each field's
+        introduction.
         """
         doc = {
             "format": "scenario/v1",
@@ -180,6 +203,8 @@ class ScenarioSpec:
             doc["streaming"] = True
         if self.fast:
             doc["fast"] = True
+        if self.algorithm is not None:
+            doc["algorithm"] = self.algorithm.to_doc()
         return doc
 
     @classmethod
@@ -198,6 +223,11 @@ class ScenarioSpec:
             train=bool(doc["train"]),
             streaming=bool(doc.get("streaming", False)),
             fast=bool(doc.get("fast", False)),
+            algorithm=(
+                AlgorithmSpec.from_doc(doc["algorithm"])
+                if "algorithm" in doc
+                else None
+            ),
             tags=tuple(str(tag) for tag in doc["tags"]),
         )
 
@@ -219,6 +249,9 @@ class ScenarioSpec:
         shards), keeping every pre-existing fingerprint stable. ``fast``
         never enters: like the trainer's backend knob, the tier changes
         how results are computed, not which setup they describe.
+        ``algorithm`` never enters either — it changes the trained
+        histories (so it lives in :meth:`fingerprint` and the train-job
+        cache keys), not the prepared economy.
         """
         doc = {
             "format": "scenario-population/v1",

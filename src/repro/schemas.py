@@ -304,17 +304,21 @@ def scenario_cells_doc(
     for cell in cells:
         outcome_doc = outcome_to_doc(cell.outcome)
         outcome_doc["equilibrium"] = None
-        encoded.append(
-            {
-                "scenario": cell.scenario,
-                "mechanism": cell.mechanism,
-                "metrics": {
-                    name: float(value)
-                    for name, value in cell.metrics.items()
-                },
-                "outcome": outcome_doc,
-            }
-        )
+        cell_doc = {
+            "scenario": cell.scenario,
+            "mechanism": cell.mechanism,
+            "metrics": {
+                name: float(value)
+                for name, value in cell.metrics.items()
+            },
+            "outcome": outcome_doc,
+        }
+        # Additive within scenario-run/v1: the canonical local-update
+        # rule, present only on cells trained under a non-default
+        # algorithm — pre-algorithm artifacts stay byte-identical.
+        if getattr(cell, "algorithm", None) is not None:
+            cell_doc["algorithm"] = str(cell.algorithm)
+        encoded.append(cell_doc)
     return envelope(
         "scenario-run",
         {"cells": encoded},
@@ -338,6 +342,9 @@ def scenario_cells_from_doc(doc: dict) -> List[Any]:
                 name: float(value)
                 for name, value in cell["metrics"].items()
             },
+            algorithm=(
+                str(cell["algorithm"]) if "algorithm" in cell else None
+            ),
         )
         for cell in doc["result"]["cells"]
     ]

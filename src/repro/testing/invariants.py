@@ -19,12 +19,15 @@ Families:
   constancy, Proposition-1 budget monotonicity.
 * ``estimator`` — Lemma-1 unbiasedness under the case's *participation
   process* (exact enumeration over a sub-economy) plus bias-mass
-  accounting.
+  accounting — including under every non-default local-update algorithm
+  (FedProx/FedDyn/server momentum), whose deterministic gradient terms
+  must never touch the participation indicators.
 * ``codec`` — spec/JSON round-trips and fingerprint stability.
 * ``training`` — cross-implementation bit-identity (loop vs vectorized
   vs chunked backends, eager vs streaming storage, checkpoint-resume vs
-  uninterrupted) on a tiny federation derived from the case. Expensive,
-  so the campaign runs them on a stride of cases.
+  uninterrupted, and every :mod:`repro.algorithms` rule across engines)
+  on a tiny federation derived from the case. Expensive, so the campaign
+  runs them on a stride of cases.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.algorithms import AlgorithmSpec
 from repro.fl.aggregation import UnbiasedDeltaAggregator
 from repro.fl.checkpoint import CheckpointConfig
 from repro.fl.participation import ParticipationSpec
@@ -87,6 +91,14 @@ FAST_PRICE_RTOL = 1e-3
 #: path's final global loss must land within this relative distance of
 #: the exact float64 run's.
 FAST_LOSS_RTOL = 0.05
+
+#: Non-default local-update rules the algorithm-family checks exercise
+#: (plain FedAvg is every other invariant's implicit algorithm).
+ALGORITHM_VARIANTS = (
+    AlgorithmSpec(kind="fedprox", mu=0.05),
+    AlgorithmSpec(kind="feddyn", alpha=0.02),
+    AlgorithmSpec(kind="server_momentum", beta=0.9),
+)
 
 
 @dataclass(frozen=True)
@@ -191,14 +203,17 @@ class InvariantContext:
         interrupt_at: Optional[int] = None,
         precision: str = "float64",
         fast: bool = False,
+        algorithm: Optional[AlgorithmSpec] = None,
     ):
         """One deterministic tiny training run; returns its history.
 
         Every variant reuses the same seed-derived RNG streams, so any
         two calls differing only in ``backend``/``chunk_size``/``eager``
         or in checkpoint interruption must produce bit-identical
-        histories. ``precision``/``fast`` select the fast tier, which is
-        held only to statistical equivalence, never bit identity.
+        histories — including under any fixed ``algorithm``, whose
+        gradient terms consume no RNG draws. ``precision``/``fast``
+        select the fast tier, which is held only to statistical
+        equivalence, never bit identity.
         """
         _, rounds, local_steps, batch_size = TRAIN_SHAPE
         federated, q = self._training_inputs()
@@ -224,6 +239,7 @@ class InvariantContext:
             chunk_size=chunk_size,
             precision=precision,
             fast=fast,
+            algorithm=algorithm,
         )
         if interrupt_at is not None:
             base = trainer.round_timer
@@ -738,6 +754,112 @@ def check_resume_identity(
             )
         ]
     return []
+
+
+@register_invariant(
+    "algorithm_backend_identity",
+    claim="Every local-update rule (FedProx, FedDyn, server momentum) "
+    "trains bit-identically across the loop, vectorized, and chunked "
+    "engines — algorithm terms consume zero RNG draws",
+    module="repro.algorithms / repro.fl.trainer",
+    family="training",
+)
+def check_algorithm_backend_identity(
+    ctx: InvariantContext,
+) -> Optional[List[Violation]]:
+    if not ctx.train:
+        return None
+    violations = []
+    for spec in ALGORITHM_VARIANTS:
+        reference = ctx.run_training(algorithm=spec)
+        for backend, chunk in (("loop", None), ("vectorized", 2)):
+            other = ctx.run_training(
+                backend=backend, chunk_size=chunk, algorithm=spec
+            )
+            if other.records != reference.records:
+                violations.append(
+                    _violation(
+                        "algorithm_backend_identity",
+                        "engine variants diverge under a non-default "
+                        "algorithm",
+                        algorithm=spec.canonical(),
+                        backend=backend,
+                        chunk_size=chunk,
+                    )
+                )
+    return violations
+
+
+@register_invariant(
+    "algorithm_unbiasedness",
+    claim="Lemma-1 aggregation stays unbiased under every local-update "
+    "rule: the algorithm's gradient terms change each client's delta "
+    "deterministically, never the participation indicators the "
+    "expectation is taken over",
+    module="repro.algorithms / repro.fl.aggregation",
+    family="estimator",
+)
+def check_algorithm_unbiasedness(ctx: InvariantContext) -> List[Violation]:
+    problem = ctx.problem
+    population = problem.population
+    spec = ctx.participation
+    inclusion = spec.effective_inclusion(np.clip(ctx.outcome.q, 0.0, 1.0))
+    k = min(population.num_clients, UNBIASEDNESS_CLIENTS)
+    rng = spawn_rng(ctx.seed, "fuzz", "algorithm-unbiasedness")
+    dim = 3
+    global_params = rng.normal(size=dim)
+    base_gradients = {i: rng.normal(size=dim) for i in range(k)}
+    h_state = {i: rng.normal(size=dim) * 0.1 for i in range(k)}
+    weights = population.weights[:k]
+    pi = inclusion[:k]
+    aggregator = UnbiasedDeltaAggregator()
+    violations = []
+    for algorithm in ALGORITHM_VARIANTS:
+        # One explicit local step per client under the rule's gradient
+        # terms — deterministic given w_global, exactly like the real
+        # kernels (the terms consume no randomness).
+        local_params = {}
+        for i in range(k):
+            start = global_params + 0.05 * base_gradients[i]
+            gradient = base_gradients[i].copy()
+            if algorithm.mu > 0:
+                gradient += algorithm.mu * (start - global_params)
+            if algorithm.kind == "feddyn":
+                gradient += algorithm.alpha * (start - global_params)
+                gradient -= h_state[i]
+            local_params[i] = start - 0.1 * gradient
+        active = [i for i in range(k) if pi[i] > 0]
+        expectation = np.zeros(dim)
+        for mask in itertools.product([0, 1], repeat=len(active)):
+            probability = 1.0
+            participants = {}
+            for bit, i in zip(mask, active):
+                probability *= pi[i] if bit else 1.0 - pi[i]
+                if bit:
+                    participants[i] = local_params[i]
+            expectation += probability * aggregator.aggregate(
+                global_params,
+                participants,
+                weights=weights,
+                inclusion_probabilities=pi,
+            )
+        reference = global_params + sum(
+            weights[i] * (local_params[i] - global_params) for i in active
+        )
+        if not np.allclose(expectation, reference, atol=1e-9):
+            violations.append(
+                _violation(
+                    "algorithm_unbiasedness",
+                    "exhaustive expectation deviates from the full-"
+                    "participation update under a non-default algorithm",
+                    algorithm=algorithm.canonical(),
+                    max_error=float(
+                        np.abs(expectation - reference).max()
+                    ),
+                    sub_economy=k,
+                )
+            )
+    return violations
 
 
 @register_invariant(

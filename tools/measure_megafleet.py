@@ -20,11 +20,13 @@ Usage::
     PYTHONPATH=src python tools/measure_megafleet.py [--scale ci]
         [--seed 0] [--scenario megafleet-train] [--backend vectorized]
         [--chunk-size N] [--precision float64|float32] [--fast]
+        [--algorithm fedprox:mu=0.05]
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import resource
 import sys
 import time
@@ -60,8 +62,16 @@ def main(argv=None) -> int:
         help="run on the fast tier (fused float32 rounds, sub-sampled "
         "evaluation, approximate equilibrium solvers)",
     )
+    parser.add_argument(
+        "--algorithm",
+        default=None,
+        metavar="KIND[:P=V,...]",
+        help="local-update rule for train scenarios (fedavg default; "
+        "fedprox/feddyn/server_momentum; overrides the scenario's own)",
+    )
     args = parser.parse_args(argv)
 
+    from repro.algorithms import coerce_algorithm
     from repro.experiments.orchestrator import ExperimentOrchestrator
     from repro.game.mechanisms import default_mechanisms
     from repro.scenarios import ScenarioRunner, get_scenario
@@ -70,6 +80,19 @@ def main(argv=None) -> int:
 
     spec = get_scenario(args.scenario)
     fast = args.fast or spec.fast
+    # The flag overrides the scenario's own rule (by rewriting the spec
+    # the runner sees); otherwise the scenario's own (possibly None =
+    # plain FedAvg) applies.
+    if args.algorithm is not None:
+        if not spec.train:
+            parser.error(
+                f"--algorithm selects the training rule; scenario "
+                f"{spec.name!r} is game-only (train=False)"
+            )
+        spec = dataclasses.replace(
+            spec, algorithm=coerce_algorithm(args.algorithm)
+        )
+    algorithm = coerce_algorithm(spec.algorithm)
     orchestrator = None
     if spec.train:
         orchestrator = ExperimentOrchestrator(
@@ -78,6 +101,7 @@ def main(argv=None) -> int:
             chunk_size=args.chunk_size,
             precision=args.precision,
             fast=fast,
+            algorithm=algorithm,
         )
     runner = ScenarioRunner(
         scale=args.scale, seed=args.seed, orchestrator=orchestrator
@@ -102,6 +126,8 @@ def main(argv=None) -> int:
         command += f" --precision {args.precision}"
     if args.fast:
         command += " --fast"
+    if args.algorithm is not None:
+        command += f" --algorithm {algorithm.canonical()}"
     config = runner.prepare(spec).config
     payload = {
         "command": command,
@@ -112,6 +138,7 @@ def main(argv=None) -> int:
         "chunk_size": args.chunk_size,
         "dtype": args.precision,
         "fast": fast,
+        "algorithm": algorithm.canonical(),
         "num_clients": config.num_clients,
         "total_samples": config.total_samples,
         "num_rounds": config.num_rounds,
@@ -128,6 +155,10 @@ def main(argv=None) -> int:
     }
     stem = spec.name.replace("-", "_")
     suffix = "_fast" if args.fast else ""
+    if args.algorithm is not None and not algorithm.is_default:
+        # Explicit-flag runs archive beside the scenario's own baseline,
+        # keyed by kind, so baselines are never overwritten.
+        suffix += f"_{algorithm.kind}"
     out = (
         Path("benchmarks")
         / "results"
